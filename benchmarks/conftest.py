@@ -1,0 +1,31 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Every ``test_bench_*`` module regenerates one table/figure of the paper:
+it runs the corresponding experiment driver under pytest-benchmark,
+prints the paper-vs-measured rows (visible with ``pytest benchmarks/
+--benchmark-only -s`` and in the captured output on failure), and
+asserts the experiment's qualitative shape checks.
+"""
+
+import pytest
+
+from repro.experiments import DEFAULT_SEED, get_experiment
+
+
+@pytest.fixture
+def run_figure(benchmark):
+    """Run one experiment driver under the benchmark, print its table,
+    and assert its shape checks."""
+
+    def runner(experiment_id, seed=DEFAULT_SEED):
+        driver = get_experiment(experiment_id)
+        result = benchmark.pedantic(driver, args=(seed,), rounds=1, iterations=1)
+        print()
+        print(result.summary())
+        failed = [c for c in result.checks if not c.passed]
+        assert result.passed, "; ".join(
+            f"{c.name} ({c.detail})" for c in failed
+        )
+        return result
+
+    return runner

@@ -1,0 +1,10 @@
+"""Runs the related-work APS (DV-hop) baseline instead of citing it.
+
+Section 2's claim — DV-hop "work[s] well only for isotropic networks
+with uniform node density" — verified on a uniform grid vs a C-shaped
+anisotropic cut, with LSS on real ranges as the reference.
+"""
+
+
+def test_ext_aps(run_figure):
+    run_figure("ext-aps")

@@ -1,0 +1,9 @@
+"""Verifies the Section 4.3.1 protocol-cost claim.
+
+"This algorithm requires two local data exchanges per node and one
+round of flooding" — counted over the discrete-event radio simulator.
+"""
+
+
+def test_ext_protocol(run_figure):
+    run_figure("ext-protocol")

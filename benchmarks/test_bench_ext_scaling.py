@@ -1,0 +1,10 @@
+"""Measures the scaling motivation for the distributed algorithm.
+
+Centralized LSS per-epoch cost grows with network size while the
+distributed pipeline's largest per-node problem stays
+neighborhood-sized (Section 4.3).
+"""
+
+
+def test_ext_scaling(run_figure):
+    run_figure("ext-scaling")

@@ -1,0 +1,13 @@
+"""Reproduces Figure 2 of the paper.
+
+Errors of the baseline acoustic ranging service on a 60-node urban
+deployment (distances to 30 m; large errors are mostly underestimates
+from noise and echoes).
+
+Run with ``pytest benchmarks/test_bench_fig02_baseline_ranging.py --benchmark-only -s`` to see the
+paper-vs-measured table.
+"""
+
+
+def test_fig02_baseline_ranging(run_figure):
+    run_figure("fig2")

@@ -1,0 +1,12 @@
+"""Reproduces Figure 4 of the paper.
+
+Baseline ranging with median filtering of up to five measurements:
+statistical filtering discounts uncorrelated one-time errors.
+
+Run with ``pytest benchmarks/test_bench_fig04_median_filter.py --benchmark-only -s`` to see the
+paper-vs-measured table.
+"""
+
+
+def test_fig04_median_filter(run_figure):
+    run_figure("fig4")

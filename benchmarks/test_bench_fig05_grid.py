@@ -1,0 +1,12 @@
+"""Reproduces Figure 5 of the paper.
+
+The 7x7 offset grid deployment pattern with 9 m and ~10 m nearest-
+neighbor spacings.
+
+Run with ``pytest benchmarks/test_bench_fig05_grid.py --benchmark-only -s`` to see the
+paper-vs-measured table.
+"""
+
+
+def test_fig05_grid(run_figure):
+    run_figure("fig5")

@@ -1,0 +1,12 @@
+"""Reproduces Figure 6 of the paper.
+
+Refined-service ranging error histogram on grass: zero-mean +/-30 cm
+core, right-skewed moderate overestimates, rare large outliers.
+
+Run with ``pytest benchmarks/test_bench_fig06_error_histogram.py --benchmark-only -s`` to see the
+paper-vs-measured table.
+"""
+
+
+def test_fig06_error_histogram(run_figure):
+    run_figure("fig6")

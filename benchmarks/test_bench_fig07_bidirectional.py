@@ -1,0 +1,12 @@
+"""Reproduces Figure 7 of the paper.
+
+Ranging errors restricted to bidirectional pairs: the consistency check
+eliminates most large-magnitude errors.
+
+Run with ``pytest benchmarks/test_bench_fig07_bidirectional.py --benchmark-only -s`` to see the
+paper-vs-measured table.
+"""
+
+
+def test_fig07_bidirectional(run_figure):
+    run_figure("fig7")

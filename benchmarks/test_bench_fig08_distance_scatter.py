@@ -1,0 +1,12 @@
+"""Reproduces Figure 8 of the paper.
+
+Measured and filtered distances versus actual distance: large-magnitude
+errors are more common at longer distances.
+
+Run with ``pytest benchmarks/test_bench_fig08_distance_scatter.py --benchmark-only -s`` to see the
+paper-vs-measured table.
+"""
+
+
+def test_fig08_distance_scatter(run_figure):
+    run_figure("fig8")

@@ -1,0 +1,12 @@
+"""Reproduces Figure 11 of the paper.
+
+Intersection consistency check: a collinear anchor with an erroneous
+range produces no intersection points near the cluster and is dropped.
+
+Run with ``pytest benchmarks/test_bench_fig11_intersection_consistency.py --benchmark-only -s`` to see the
+paper-vs-measured table.
+"""
+
+
+def test_fig11_intersection_consistency(run_figure):
+    run_figure("fig11")

@@ -1,0 +1,12 @@
+"""Reproduces Figure 12 of the paper.
+
+Multilateration with 15 nodes (5 anchors) in a 25x25 m parking lot: ~0.9
+m average error.
+
+Run with ``pytest benchmarks/test_bench_fig12_multilateration_small.py --benchmark-only -s`` to see the
+paper-vs-measured table.
+"""
+
+
+def test_fig12_multilateration_small(run_figure):
+    run_figure("fig12")

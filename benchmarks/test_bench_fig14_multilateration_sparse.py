@@ -1,0 +1,12 @@
+"""Reproduces Figures 13-14 of the paper.
+
+Multilateration on real sparse field measurements: only a small minority
+of the 33 non-anchors localize (avg anchors/node well below 3).
+
+Run with ``pytest benchmarks/test_bench_fig14_multilateration_sparse.py --benchmark-only -s`` to see the
+paper-vs-measured table.
+"""
+
+
+def test_fig14_multilateration_sparse(run_figure):
+    run_figure("fig14")

@@ -1,0 +1,12 @@
+"""Reproduces Figures 15-16 of the paper.
+
+Multilateration once synthetic N(0, 0.33 m) ranges fill the gaps: ~80%
+localized; a few local-minimum victims dominate the mean.
+
+Run with ``pytest benchmarks/test_bench_fig16_multilateration_extended.py --benchmark-only -s`` to see the
+paper-vs-measured table.
+"""
+
+
+def test_fig16_multilateration_extended(run_figure):
+    run_figure("fig16")

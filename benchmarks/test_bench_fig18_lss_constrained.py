@@ -1,0 +1,12 @@
+"""Reproduces Figures 17-18 of the paper.
+
+Centralized LSS with the 9.14 m min-spacing soft constraint on sparse
+field measurements: ~2.2 m average error, no anchors.
+
+Run with ``pytest benchmarks/test_bench_fig18_lss_constrained.py --benchmark-only -s`` to see the
+paper-vs-measured table.
+"""
+
+
+def test_fig18_lss_constrained(run_figure):
+    run_figure("fig18")

@@ -1,0 +1,12 @@
+"""Reproduces Figure 19 of the paper.
+
+Centralized LSS without the constraint fails to converge (~16.6 m even
+after long minimization).
+
+Run with ``pytest benchmarks/test_bench_fig19_lss_unconstrained.py --benchmark-only -s`` to see the
+paper-vs-measured table.
+"""
+
+
+def test_fig19_lss_unconstrained(run_figure):
+    run_figure("fig19")

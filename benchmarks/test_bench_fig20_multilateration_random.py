@@ -1,0 +1,12 @@
+"""Reproduces Figure 20 of the paper.
+
+Multilateration on the random 59-node town deployment (18 anchors,
+synthetic ranges): ~1 m error, some nodes unlocalizable.
+
+Run with ``pytest benchmarks/test_bench_fig20_multilateration_random.py --benchmark-only -s`` to see the
+paper-vs-measured table.
+"""
+
+
+def test_fig20_multilateration_random(run_figure):
+    run_figure("fig20")

@@ -1,0 +1,12 @@
+"""Reproduces Figure 21 of the paper.
+
+Centralized LSS on the town data with the constraint and zero anchors:
+all nodes localized at ~0.5 m.
+
+Run with ``pytest benchmarks/test_bench_fig21_lss_random.py --benchmark-only -s`` to see the
+paper-vs-measured table.
+"""
+
+
+def test_fig21_lss_random(run_figure):
+    run_figure("fig21")

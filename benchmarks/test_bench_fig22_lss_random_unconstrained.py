@@ -1,0 +1,12 @@
+"""Reproduces Figure 22 of the paper.
+
+Town LSS without the constraint: ~13.6 m; the lower half of the map
+never converges.
+
+Run with ``pytest benchmarks/test_bench_fig22_lss_random_unconstrained.py --benchmark-only -s`` to see the
+paper-vs-measured table.
+"""
+
+
+def test_fig22_lss_random_unconstrained(run_figure):
+    run_figure("fig22")

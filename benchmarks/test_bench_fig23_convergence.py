@@ -1,0 +1,12 @@
+"""Reproduces Figure 23 of the paper.
+
+Error-versus-epoch traces: the soft constraint dramatically accelerates
+convergence at equal compute budget.
+
+Run with ``pytest benchmarks/test_bench_fig23_convergence.py --benchmark-only -s`` to see the
+paper-vs-measured table.
+"""
+
+
+def test_fig23_convergence(run_figure):
+    run_figure("fig23")

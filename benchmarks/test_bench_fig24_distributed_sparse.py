@@ -1,0 +1,12 @@
+"""Reproduces Figure 24 of the paper.
+
+Distributed LSS on the sparse field measurements: one bad pairwise
+transform corrupts its whole subtree (~9.5 m).
+
+Run with ``pytest benchmarks/test_bench_fig24_distributed_sparse.py --benchmark-only -s`` to see the
+paper-vs-measured table.
+"""
+
+
+def test_fig24_distributed_sparse(run_figure):
+    run_figure("fig24")

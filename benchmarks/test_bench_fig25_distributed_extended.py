@@ -1,0 +1,12 @@
+"""Reproduces Figure 25 of the paper.
+
+Distributed LSS with 370 additional synthetic ranges: all 47 nodes
+localized at ~0.5 m.
+
+Run with ``pytest benchmarks/test_bench_fig25_distributed_extended.py --benchmark-only -s`` to see the
+paper-vs-measured table.
+"""
+
+
+def test_fig25_distributed_extended(run_figure):
+    run_figure("fig25")

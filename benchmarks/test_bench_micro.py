@@ -1,0 +1,53 @@
+"""Micro-benchmarks of the performance-critical kernels.
+
+These time the inner loops a deployment-scale run leans on: the
+detection scan, the vectorized LSS gradient, the link-buffer simulation
+and the sliding-DFT filter.  They guard against performance regressions
+rather than reproducing paper numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.acoustics import get_environment
+from repro.core.lss import lss_gradient
+from repro.core.measurements import EdgeList
+from repro.deploy import paper_grid
+from repro.ranging import gaussian_ranges
+from repro.ranging.detection import detect_signal
+from repro.ranging.dft import filter_waveform
+from repro.ranging.link import AcousticLinkSimulator, LinkRealization
+
+
+def test_detect_signal_speed(benchmark):
+    rng = np.random.default_rng(0)
+    buf = (rng.random(1250) < 0.01).astype(np.int64) * 3
+    buf[800:900] = 8
+    result = benchmark(detect_signal, buf, 6, 32, 2)
+    assert result == 800 or result >= 0
+
+
+def test_lss_gradient_speed(benchmark):
+    positions = paper_grid(47)
+    ranges = gaussian_ranges(positions, max_range_m=22.0, sigma_m=0.33, rng=0)
+    edges = ranges.to_edge_list()
+    pts = positions + np.random.default_rng(1).normal(0, 1, positions.shape)
+    grad = benchmark(lss_gradient, pts, edges)
+    assert grad.shape == positions.shape
+
+
+def test_link_buffer_simulation_speed(benchmark):
+    sim = AcousticLinkSimulator(environment=get_environment("grass"))
+    link = LinkRealization()
+    rng = np.random.default_rng(2)
+    counts = benchmark(
+        sim.simulate_counts, 12.0, link=link, rng=rng
+    )
+    assert counts.shape[0] == sim.tdoa.buffer_length
+
+
+def test_sliding_dft_speed(benchmark):
+    rng = np.random.default_rng(3)
+    wave = rng.normal(0, 100, 2000)
+    energies = benchmark(filter_waveform, wave)
+    assert energies.shape == (2000, 2)

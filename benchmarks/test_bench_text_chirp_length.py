@@ -1,0 +1,12 @@
+"""Reproduces Section 3.6 of the paper.
+
+Chirp-length ablation: 8 ms chirps cap overestimates near 3 m; 64 ms
+chirps overestimate far more; 4 ms chirps detect less.
+
+Run with ``pytest benchmarks/test_bench_text_chirp_length.py --benchmark-only -s`` to see the
+paper-vs-measured table.
+"""
+
+
+def test_text_chirp_length(run_figure):
+    run_figure("text-chirp")

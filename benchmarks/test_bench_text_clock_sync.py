@@ -1,0 +1,12 @@
+"""Reproduces Section 3.1 of the paper.
+
+Clock synchronization contributes ~0.15 cm ranging error at 30 m (50
+us/s drift bound).
+
+Run with ``pytest benchmarks/test_bench_text_clock_sync.py --benchmark-only -s`` to see the
+paper-vs-measured table.
+"""
+
+
+def test_text_clock_sync(run_figure):
+    run_figure("text-sync")

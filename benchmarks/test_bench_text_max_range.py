@@ -1,0 +1,12 @@
+"""Reproduces Section 3.6.2 of the paper.
+
+Maximum/reliable detection range by environment: pavement reaches
+roughly twice as far as grass.
+
+Run with ``pytest benchmarks/test_bench_text_max_range.py --benchmark-only -s`` to see the
+paper-vs-measured table.
+"""
+
+
+def test_text_max_range(run_figure):
+    run_figure("text-range")

@@ -1,0 +1,102 @@
+"""A complete simulated field campaign, end to end.
+
+Walks through the full pipeline the paper ran on its grassy-field site:
+
+1. calibrate the acoustic ranging service for the environment,
+2. run a multi-round ranging campaign over the 47-node offset grid
+   (every chirp detection goes through the Figure 3 algorithm on
+   simulated tone-detector buffers),
+3. filter the raw measurements (median + bidirectional + triangle
+   consistency, confidence weights),
+4. localize three ways -- anchored multilateration, centralized LSS with
+   the min-spacing constraint, LSS without the constraint -- and compare.
+
+Run:  python examples/field_campaign.py
+"""
+
+import numpy as np
+
+from repro import core, deploy, ranging
+from repro.acoustics import get_environment
+from repro.ranging.filtering import confidence_weighted_edges
+
+
+def describe_errors(label, errors):
+    errors = np.asarray(errors)
+    within = (np.abs(errors) < 0.3).mean()
+    print(f"  {label}: {errors.size} measurements, "
+          f"{within:.0%} within +/-30 cm, worst {np.abs(errors).max():.1f} m")
+
+
+def main():
+    rng_seed = 2005
+
+    # ------------------------------------------------------------------
+    # 1. Environment + service calibration (Section 3.6).
+    # ------------------------------------------------------------------
+    environment = get_environment("grass")
+    service = ranging.RangingService(environment=environment).calibrate(rng=rng_seed)
+    print(f"calibrated ranging service for '{environment.name}': "
+          f"constant offset {service.tdoa.calibration_offset_m * 100:.0f} cm")
+
+    # ------------------------------------------------------------------
+    # 2. The campaign: 3 rounds over the offset grid.
+    # ------------------------------------------------------------------
+    positions = deploy.paper_grid(47)
+    raw = ranging.run_campaign(positions, service, rounds=3, rng=rng_seed + 1)
+    print(f"\ncampaign: {len(raw)} directed measurements over "
+          f"{len(raw.undirected_pairs)} pairs")
+    describe_errors("raw", raw.signed_errors())
+
+    # ------------------------------------------------------------------
+    # 3. Filtering (Section 3.5).
+    # ------------------------------------------------------------------
+    filtered = ranging.triangle_filter(raw)
+    edges = confidence_weighted_edges(filtered)
+    print(f"\nafter consistency checks: {len(edges)} weighted pairs "
+          f"(mean weight {edges.weights.mean():.2f})")
+
+    # ------------------------------------------------------------------
+    # 4a. Anchored multilateration (Section 4.1).
+    # ------------------------------------------------------------------
+    n = len(positions)
+    anchor_idx = deploy.random_anchors(n, 13, rng=rng_seed)
+    anchor_positions = {int(i): positions[i] for i in anchor_idx}
+    multilat = core.localize_network(edges, anchor_positions, n)
+    non_anchor = ~multilat.is_anchor
+    localized = multilat.localized & non_anchor
+    print(f"\nmultilateration (13 anchors): localized "
+          f"{localized.sum()}/{non_anchor.sum()} non-anchors "
+          f"(avg anchors/node {multilat.average_anchors_per_node:.2f})")
+    if localized.sum():
+        rep = core.evaluate_localization(
+            multilat.positions[localized], positions[localized]
+        )
+        print(f"  error for the localized few: {rep.average_error:.2f} m")
+
+    # ------------------------------------------------------------------
+    # 4b. Centralized LSS with the soft constraint (Section 4.2).
+    # ------------------------------------------------------------------
+    constrained = core.lss_localize_robust(
+        edges, n, config=core.LssConfig(min_spacing_m=9.14), rng=rng_seed
+    )
+    rep_c = core.evaluate_localization(constrained.positions, positions, align=True)
+    print(f"\nLSS with min-spacing constraint (0 anchors): "
+          f"all {rep_c.n_localized} nodes, avg error {rep_c.average_error:.2f} m")
+
+    # ------------------------------------------------------------------
+    # 4c. The ablation: LSS without the constraint (Figure 19).
+    # ------------------------------------------------------------------
+    unconstrained = core.lss_localize_robust(
+        edges, n, config=core.LssConfig(min_spacing_m=None), rng=rng_seed
+    )
+    rep_u = core.evaluate_localization(unconstrained.positions, positions, align=True)
+    print(f"LSS without the constraint: avg error {rep_u.average_error:.2f} m "
+          f"({rep_u.average_error / max(rep_c.average_error, 1e-9):.0f}x worse)")
+
+    print("\nconclusion: multilateration starves on sparse real data; "
+          "constrained LSS localizes everyone.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Setuptools shim for legacy (pre-PEP 517) editable installs.
+
+The offline environment's setuptools lacks the ``bdist_wheel`` command,
+so ``pip install -e . --no-build-isolation --no-use-pep517`` goes
+through this file.  All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21", "scipy>=1.7"],
+)

@@ -1,0 +1,95 @@
+"""repro — Resilient Localization for Sensor Networks in Outdoor Environments.
+
+A faithful, laptop-scale reproduction of Kwon, Mechitov, Sundresh, Kim &
+Agha (ICDCS 2005): the long-distance acoustic TDoA ranging service
+(Section 3) as a calibrated signal-level simulation, plus the full
+localization suite (Section 4) — least-squares multilateration with
+intersection consistency checking, centralized least-squares scaling
+(LSS) with a minimum-spacing soft constraint, and the distributed LSS
+pipeline (local maps, pairwise rigid transforms, alignment flood).
+
+Quickstart::
+
+    import numpy as np
+    from repro import deploy, ranging, core
+
+    positions = deploy.paper_grid(47)              # the 7x7 offset grid
+    ranges = ranging.gaussian_ranges(positions, max_range_m=22.0,
+                                     sigma_m=0.33, rng=7)
+    result = core.lss_localize(
+        ranges, len(positions),
+        config=core.LssConfig(min_spacing_m=9.0), rng=7)
+    report = core.evaluate_localization(result.positions, positions,
+                                        align=True)
+    print(f"average error: {report.average_error:.2f} m")
+
+Subpackages
+-----------
+``repro.core``
+    Localization algorithms, measurement model, geometry, evaluation.
+``repro.ranging``
+    The acoustic ranging service and its simulation substrate.
+``repro.acoustics``
+    Acoustic physics: environments, propagation, tone detectors.
+``repro.network``
+    Clocks, radio, discrete-event simulator, flooding.
+``repro.deploy``
+    Deployment and anchor-selection generators.
+``repro.experiments``
+    One driver per paper figure (used by benchmarks and examples).
+"""
+
+from . import acoustics, core, deploy, network, ranging
+from .errors import (
+    CalibrationError,
+    ConvergenceError,
+    GraphDisconnectedError,
+    InsufficientDataError,
+    ReproError,
+    ValidationError,
+)
+
+# Convenience re-exports of the most-used entry points.
+from .core import (
+    EdgeList,
+    LssConfig,
+    LssResult,
+    MeasurementSet,
+    RangeMeasurement,
+    distributed_localize,
+    evaluate_localization,
+    localize_network,
+    lss_localize,
+    multilaterate,
+)
+from .ranging import RangingService, gaussian_ranges, run_campaign
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "acoustics",
+    "core",
+    "deploy",
+    "network",
+    "ranging",
+    "ReproError",
+    "ValidationError",
+    "ConvergenceError",
+    "InsufficientDataError",
+    "GraphDisconnectedError",
+    "CalibrationError",
+    "MeasurementSet",
+    "RangeMeasurement",
+    "EdgeList",
+    "LssConfig",
+    "LssResult",
+    "lss_localize",
+    "multilaterate",
+    "localize_network",
+    "distributed_localize",
+    "evaluate_localization",
+    "RangingService",
+    "gaussian_ranges",
+    "run_campaign",
+    "__version__",
+]

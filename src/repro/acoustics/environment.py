@@ -1,0 +1,167 @@
+"""Acoustic environment presets.
+
+The paper evaluates ranging in four settings with very different acoustic
+behaviour (Sections 3.3 and 3.6):
+
+* **urban** — pavement/gravel/short grass among buildings; long detection
+  range but frequent echoes from nearby structures (Figure 2's
+  underestimates) and moderate ambient noise.
+* **grass** — flat grassy field, 10-15 cm blades; strong excess
+  attenuation (max detection ~20 m, reliable ~10 m), occasional loud
+  aircraft noise (the airport site of Section 3.6).
+* **pavement** — parking lot; lowest attenuation (max ~35-50 m, reliable
+  ~25 m).
+* **wooded** — >20 cm grass plus scattered trees; strongest attenuation.
+
+Each preset fixes the parameters of the propagation, noise and echo
+models.  Values are calibrated so the simulated service reproduces the
+paper's reported detection ranges and error statistics; see
+EXPERIMENTS.md for the calibration evidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+from .._validation import check_non_negative, check_probability
+from ..errors import ValidationError
+
+__all__ = ["Environment", "ENVIRONMENTS", "get_environment"]
+
+
+@dataclass(frozen=True)
+class Environment:
+    """Parameters describing an acoustic deployment environment.
+
+    Attributes
+    ----------
+    name : str
+        Preset identifier.
+    excess_attenuation_db_per_m : float
+        Attenuation beyond spherical spreading (ground/vegetation
+        absorption), in dB per meter.
+    noise_floor_db : float
+        Ambient background noise level in dB SPL within the detector's
+        band.
+    false_positive_rate : float
+        Per-sample probability that the hardware tone detector reports a
+        tone when only background noise is present.
+    noise_burst_rate_hz : float
+        Rate of impulsive wide-band noise events (birds, footsteps,
+        aircraft) that temporarily raise the false-positive rate.
+    noise_burst_duration_s : float
+        Typical duration of one noise burst.
+    noise_burst_fp_rate : float
+        Per-sample false-positive probability during a burst.
+    echo_probability : float
+        Probability that a given receiver experiences a detectable echo
+        path for a given source (multipath off buildings, trees).
+    echo_delay_range_s : tuple of (float, float)
+        Min/max extra propagation delay of the echo path.
+    echo_strength : float
+        Multiplier on the direct path's per-sample hit probability for
+        echo arrivals (0..1).
+    ground_variation_db : float
+        Standard deviation of per-link attenuation variation (patches of
+        taller grass etc.), geographically correlated in the simulator.
+    """
+
+    name: str
+    excess_attenuation_db_per_m: float
+    noise_floor_db: float
+    false_positive_rate: float
+    noise_burst_rate_hz: float
+    noise_burst_duration_s: float
+    noise_burst_fp_rate: float
+    echo_probability: float
+    echo_delay_range_s: tuple
+    echo_strength: float
+    ground_variation_db: float
+
+    def __post_init__(self):
+        check_non_negative(self.excess_attenuation_db_per_m, "excess_attenuation_db_per_m")
+        check_probability(self.false_positive_rate, "false_positive_rate")
+        check_non_negative(self.noise_burst_rate_hz, "noise_burst_rate_hz")
+        check_non_negative(self.noise_burst_duration_s, "noise_burst_duration_s")
+        check_probability(self.noise_burst_fp_rate, "noise_burst_fp_rate")
+        check_probability(self.echo_probability, "echo_probability")
+        check_probability(self.echo_strength, "echo_strength")
+        check_non_negative(self.ground_variation_db, "ground_variation_db")
+        lo, hi = self.echo_delay_range_s
+        if lo < 0 or hi < lo:
+            raise ValidationError("echo_delay_range_s must satisfy 0 <= lo <= hi")
+
+    def with_overrides(self, **kwargs) -> "Environment":
+        """A copy of this environment with selected fields replaced."""
+        return replace(self, **kwargs)
+
+
+ENVIRONMENTS: Dict[str, Environment] = {
+    "grass": Environment(
+        name="grass",
+        excess_attenuation_db_per_m=1.75,
+        noise_floor_db=32.0,
+        false_positive_rate=0.0005,
+        noise_burst_rate_hz=0.08,
+        noise_burst_duration_s=0.012,
+        noise_burst_fp_rate=0.35,
+        echo_probability=0.03,
+        echo_delay_range_s=(0.004, 0.030),
+        echo_strength=0.25,
+        ground_variation_db=6.0,
+    ),
+    "pavement": Environment(
+        name="pavement",
+        excess_attenuation_db_per_m=0.70,
+        noise_floor_db=30.0,
+        false_positive_rate=0.0003,
+        noise_burst_rate_hz=0.04,
+        noise_burst_duration_s=0.010,
+        noise_burst_fp_rate=0.30,
+        echo_probability=0.08,
+        echo_delay_range_s=(0.004, 0.040),
+        echo_strength=0.30,
+        ground_variation_db=2.0,
+    ),
+    "urban": Environment(
+        name="urban",
+        excess_attenuation_db_per_m=0.55,
+        noise_floor_db=38.0,
+        false_positive_rate=0.00025,
+        noise_burst_rate_hz=0.15,
+        noise_burst_duration_s=0.015,
+        noise_burst_fp_rate=0.40,
+        echo_probability=0.35,
+        echo_delay_range_s=(0.003, 0.050),
+        echo_strength=0.55,
+        ground_variation_db=3.0,
+    ),
+    "wooded": Environment(
+        name="wooded",
+        excess_attenuation_db_per_m=1.8,
+        noise_floor_db=34.0,
+        false_positive_rate=0.0006,
+        noise_burst_rate_hz=0.12,
+        noise_burst_duration_s=0.015,
+        noise_burst_fp_rate=0.35,
+        echo_probability=0.15,
+        echo_delay_range_s=(0.005, 0.040),
+        echo_strength=0.35,
+        ground_variation_db=5.0,
+    ),
+}
+
+
+def get_environment(name: str) -> Environment:
+    """Look up an environment preset by name.
+
+    Raises :class:`repro.errors.ValidationError` listing the valid
+    presets when *name* is unknown.
+    """
+    try:
+        return ENVIRONMENTS[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown environment {name!r}; valid presets: {sorted(ENVIRONMENTS)}"
+        ) from None

@@ -1,0 +1,331 @@
+"""Range-measurement data model shared by ranging and localization.
+
+The ranging service (Section 3) produces *directed* distance
+measurements: node ``i`` chirps, node ``j`` detects, yielding an estimate
+of ``d_ij`` at ``j``.  Several estimates may exist per ordered pair (the
+paper makes multiple rounds and filters with median/mode), and the
+bidirectional consistency check compares the ``(i, j)`` and ``(j, i)``
+estimates.  Localization (Section 4) consumes an *undirected* edge list
+``(pairs, distances, weights)``.
+
+:class:`MeasurementSet` holds the directed multi-measurements and
+produces the undirected view; it is the interchange type across the
+library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from .._validation import check_non_negative
+from ..errors import ValidationError
+
+__all__ = ["RangeMeasurement", "EdgeList", "MeasurementSet"]
+
+
+@dataclass(frozen=True)
+class RangeMeasurement:
+    """One directed distance estimate.
+
+    Attributes
+    ----------
+    source : int
+        Node that emitted the chirp.
+    receiver : int
+        Node that detected the chirp and computed the distance.
+    distance : float
+        Estimated distance in meters.
+    true_distance : float or None
+        Ground-truth distance when known (simulation only); ``None`` for
+        field-style data.  Used for error analyses, never by algorithms.
+    round_index : int
+        Which measurement round produced this estimate.
+    """
+
+    source: int
+    receiver: int
+    distance: float
+    true_distance: Optional[float] = None
+    round_index: int = 0
+
+    def __post_init__(self):
+        if self.source == self.receiver:
+            raise ValidationError("source and receiver must differ")
+        if self.source < 0 or self.receiver < 0:
+            raise ValidationError("node ids must be non-negative")
+        check_non_negative(self.distance, "distance")
+
+    @property
+    def error(self) -> Optional[float]:
+        """Signed ranging error (estimate minus truth), if truth is known."""
+        if self.true_distance is None:
+            return None
+        return self.distance - self.true_distance
+
+
+@dataclass(frozen=True)
+class EdgeList:
+    """Undirected measurement view consumed by localization algorithms."""
+
+    pairs: np.ndarray  # (m, 2) int64, i < j
+    distances: np.ndarray  # (m,)
+    weights: np.ndarray  # (m,)
+
+    def __post_init__(self):
+        if self.pairs.shape[0] != self.distances.shape[0] or self.pairs.shape[0] != self.weights.shape[0]:
+            raise ValidationError("pairs, distances and weights must have equal length")
+
+    def __len__(self) -> int:
+        return int(self.pairs.shape[0])
+
+
+class MeasurementSet:
+    """A mutable collection of directed range measurements.
+
+    Supports the reduction and filtering pipeline of Section 3.5
+    (statistical filtering, bidirectional and triangle consistency
+    checks live in :mod:`repro.ranging`, operating on this type) and
+    exports the undirected edge list for localization.
+    """
+
+    def __init__(self, measurements: Iterable[RangeMeasurement] = ()) -> None:
+        self._directed: Dict[Tuple[int, int], List[RangeMeasurement]] = {}
+        for m in measurements:
+            self.add(m)
+
+    # ------------------------------------------------------------------
+    # Construction / mutation
+    # ------------------------------------------------------------------
+
+    def add(self, measurement: RangeMeasurement) -> None:
+        """Add one directed measurement."""
+        key = (measurement.source, measurement.receiver)
+        self._directed.setdefault(key, []).append(measurement)
+
+    def add_distance(
+        self,
+        source: int,
+        receiver: int,
+        distance: float,
+        *,
+        true_distance: Optional[float] = None,
+        round_index: int = 0,
+    ) -> None:
+        """Convenience wrapper building a :class:`RangeMeasurement`."""
+        self.add(
+            RangeMeasurement(
+                source=source,
+                receiver=receiver,
+                distance=distance,
+                true_distance=true_distance,
+                round_index=round_index,
+            )
+        )
+
+    def merge(self, other: "MeasurementSet") -> "MeasurementSet":
+        """Return a new set containing measurements from both sets."""
+        merged = MeasurementSet(self)
+        for m in other:
+            merged.add(m)
+        return merged
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[RangeMeasurement]:
+        for measurements in self._directed.values():
+            yield from measurements
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._directed.values())
+
+    def __contains__(self, pair: Tuple[int, int]) -> bool:
+        return tuple(pair) in self._directed
+
+    @property
+    def directed_pairs(self) -> List[Tuple[int, int]]:
+        """Ordered (source, receiver) pairs with at least one estimate."""
+        return sorted(self._directed)
+
+    @property
+    def undirected_pairs(self) -> List[Tuple[int, int]]:
+        """Unordered node pairs (i < j) with at least one estimate in
+        either direction."""
+        seen: Set[Tuple[int, int]] = set()
+        for (i, j) in self._directed:
+            seen.add((min(i, j), max(i, j)))
+        return sorted(seen)
+
+    @property
+    def node_ids(self) -> List[int]:
+        """All node ids appearing in any measurement, sorted."""
+        ids: Set[int] = set()
+        for (i, j) in self._directed:
+            ids.add(i)
+            ids.add(j)
+        return sorted(ids)
+
+    def get(self, source: int, receiver: int) -> List[RangeMeasurement]:
+        """Directed measurements for an ordered pair ([] when absent)."""
+        return list(self._directed.get((source, receiver), []))
+
+    def distances(self, source: int, receiver: int) -> np.ndarray:
+        """Distance estimates for an ordered pair as an array."""
+        return np.array([m.distance for m in self.get(source, receiver)])
+
+    def has_bidirectional(self, i: int, j: int) -> bool:
+        """True when estimates exist in both directions for the pair."""
+        return (i, j) in self._directed and (j, i) in self._directed
+
+    def neighbors(self, node: int) -> List[int]:
+        """Nodes sharing an undirected measurement with *node*."""
+        out: Set[int] = set()
+        for (i, j) in self._directed:
+            if i == node:
+                out.add(j)
+            elif j == node:
+                out.add(i)
+        return sorted(out)
+
+    def degree_histogram(self) -> Dict[int, int]:
+        """Map node id -> number of undirected measurement partners."""
+        return {node: len(self.neighbors(node)) for node in self.node_ids}
+
+    # ------------------------------------------------------------------
+    # Reduction / export
+    # ------------------------------------------------------------------
+
+    def reduce(self, statistic: str = "median") -> "MeasurementSet":
+        """Collapse multi-round estimates per directed pair to one value.
+
+        ``statistic`` is ``"median"``, ``"mode"`` or ``"mean"``; the
+        paper uses the median for few measurements and the mode when
+        many are available (Section 3.5, Statistical Filtering).  The
+        mode here is the paper's coarse-bin variant: estimates are
+        quantized to 0.5 m bins and the densest bin's member mean wins.
+        """
+        reduced = MeasurementSet()
+        for (i, j), measurements in self._directed.items():
+            values = np.array([m.distance for m in measurements])
+            truths = [m.true_distance for m in measurements]
+            truth = truths[0] if all(t == truths[0] for t in truths) else None
+            if statistic == "median":
+                value = float(np.median(values))
+            elif statistic == "mean":
+                value = float(values.mean())
+            elif statistic == "mode":
+                value = _binned_mode(values)
+            else:
+                raise ValidationError(f"unknown statistic {statistic!r}")
+            reduced.add_distance(i, j, value, true_distance=truth)
+        return reduced
+
+    def symmetrized(self) -> "MeasurementSet":
+        """Average the two directions of bidirectional pairs.
+
+        Pairs with only one direction keep their single estimate.  The
+        result contains exactly one directed measurement per undirected
+        pair, stored as (min, max).
+        """
+        single = self.reduce("median")
+        out = MeasurementSet()
+        for (i, j) in single.undirected_pairs:
+            forward = single.distances(i, j)
+            backward = single.distances(j, i)
+            values = np.concatenate([forward, backward])
+            truth = None
+            for m in single.get(i, j) + single.get(j, i):
+                if m.true_distance is not None:
+                    truth = m.true_distance
+                    break
+            out.add_distance(i, j, float(values.mean()), true_distance=truth)
+        return out
+
+    def to_edge_list(
+        self,
+        *,
+        weight_fn=None,
+    ) -> EdgeList:
+        """Export the undirected edge list for localization.
+
+        Multi-round and bidirectional estimates are first collapsed with
+        :meth:`symmetrized`.  *weight_fn*, if given, maps an undirected
+        pair's collapsed distance to a weight; the default assigns the
+        paper's constant weight 1.
+        """
+        sym = self.symmetrized()
+        pairs = sym.undirected_pairs
+        if not pairs:
+            return EdgeList(
+                pairs=np.zeros((0, 2), dtype=np.int64),
+                distances=np.zeros(0),
+                weights=np.zeros(0),
+            )
+        arr_pairs = np.asarray(pairs, dtype=np.int64)
+        dists = np.array([sym.distances(i, j)[0] for (i, j) in pairs])
+        if weight_fn is None:
+            weights = np.ones(len(pairs))
+        else:
+            weights = np.array([float(weight_fn(d)) for d in dists])
+        return EdgeList(pairs=arr_pairs, distances=dists, weights=weights)
+
+    def filter(self, predicate) -> "MeasurementSet":
+        """New set keeping measurements for which *predicate(m)* is true."""
+        return MeasurementSet(m for m in self if predicate(m))
+
+    def restrict_to_nodes(self, nodes: Iterable[int]) -> "MeasurementSet":
+        """New set keeping measurements whose endpoints are both in *nodes*."""
+        allowed = set(int(n) for n in nodes)
+        return self.filter(lambda m: m.source in allowed and m.receiver in allowed)
+
+    def signed_errors(self) -> np.ndarray:
+        """Signed errors for all measurements with known ground truth."""
+        errs = [m.error for m in self if m.error is not None]
+        return np.asarray(errs, dtype=float)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_edge_arrays(
+        cls,
+        pairs,
+        distances,
+        *,
+        true_distances=None,
+    ) -> "MeasurementSet":
+        """Build a set from parallel arrays of pairs and distances."""
+        pairs = np.asarray(pairs, dtype=np.int64)
+        distances = np.asarray(distances, dtype=float)
+        if pairs.ndim != 2 or pairs.shape[1] != 2:
+            raise ValidationError(f"pairs must have shape (m, 2); got {pairs.shape}")
+        if distances.shape != (pairs.shape[0],):
+            raise ValidationError("distances length must match pairs")
+        if true_distances is not None:
+            true_distances = np.asarray(true_distances, dtype=float)
+            if true_distances.shape != (pairs.shape[0],):
+                raise ValidationError("true_distances length must match pairs")
+        out = cls()
+        for k in range(pairs.shape[0]):
+            truth = None if true_distances is None else float(true_distances[k])
+            out.add_distance(
+                int(pairs[k, 0]), int(pairs[k, 1]), float(distances[k]), true_distance=truth
+            )
+        return out
+
+
+def _binned_mode(values: np.ndarray, bin_width: float = 0.5) -> float:
+    """Mode of *values* by densest 0.5 m bin, as used by the paper's
+    statistical filter when many estimates are available."""
+    if values.size == 1:
+        return float(values[0])
+    bins = np.floor(values / bin_width).astype(np.int64)
+    unique, counts = np.unique(bins, return_counts=True)
+    best_bin = unique[np.argmax(counts)]
+    members = values[bins == best_bin]
+    return float(members.mean())

@@ -1,0 +1,227 @@
+"""Rigid-transform estimation between local coordinate systems.
+
+Step 2 of the paper's distributed localization algorithm (Section 4.3.1)
+must map one node's local relative coordinate system onto a neighbor's,
+using the coordinates of their *shared* neighbors as correspondences.
+The paper presents two estimators, both implemented here:
+
+``estimate_transform_minimize``
+    The "straightforward" 4-parameter minimization of the squared
+    correspondence error over ``(theta, tx, ty)`` for each reflection
+    factor ``f in {+1, -1}``, keeping the better of the two.  Accurate
+    but, as the paper notes, too heavy for mote-class hardware.
+
+``estimate_transform_closed_form``
+    The paper's lightweight alternative: translate both point sets to
+    their centers of mass, then solve for the rotation angle from the
+    cross-covariances via ``(C_xu + C_yv) sin(theta) + (C_xv - C_yu)
+    cos(theta) = 0``, trying both roots (theta, theta + pi) and both
+    reflection factors, keeping the combination with least error.
+
+Both return a :class:`TransformEstimate` carrying the homogeneous matrix
+(the paper's row-vector convention), the residual error, and the chosen
+reflection — so the alignment step can propagate quality information.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+from scipy.optimize import minimize
+
+from .._validation import as_positions
+from ..errors import InsufficientDataError, ValidationError
+from .geometry import apply_transform, rigid_transform_matrix
+
+__all__ = [
+    "TransformEstimate",
+    "transform_residual",
+    "estimate_transform_minimize",
+    "estimate_transform_closed_form",
+    "estimate_transform",
+]
+
+
+@dataclass(frozen=True)
+class TransformEstimate:
+    """Result of estimating a rigid transform from correspondences.
+
+    Attributes
+    ----------
+    matrix : ndarray of shape (3, 3)
+        Homogeneous transform mapping source row-vectors to target.
+    error : float
+        Sum of squared residuals over the correspondences (the paper's
+        ``E_f``).
+    rmse : float
+        Root-mean-square correspondence residual, in the same length
+        unit as the inputs; convenient for thresholding.
+    theta : float
+        Rotation angle in radians.
+    reflected : bool
+        Whether the winning solution includes a reflection.
+    n_correspondences : int
+        Number of shared points used for the fit.
+    """
+
+    matrix: np.ndarray
+    error: float
+    rmse: float
+    theta: float
+    reflected: bool
+    n_correspondences: int
+
+    def apply(self, points) -> np.ndarray:
+        """Map ``(n, 2)`` source-frame points into the target frame."""
+        return apply_transform(points, self.matrix)
+
+
+def transform_residual(source, target, matrix) -> float:
+    """Sum of squared residuals of *matrix* over the correspondences."""
+    src = as_positions(source, "source")
+    tgt = as_positions(target, "target")
+    mapped = apply_transform(src, matrix)
+    return float(np.sum((mapped - tgt) ** 2))
+
+
+def _validate_correspondences(source, target) -> Tuple[np.ndarray, np.ndarray]:
+    src = as_positions(source, "source")
+    tgt = as_positions(target, "target")
+    if src.shape != tgt.shape:
+        raise ValidationError(
+            f"source and target must have matching shapes; got {src.shape} vs {tgt.shape}"
+        )
+    if src.shape[0] < 2:
+        raise InsufficientDataError(
+            "at least two shared points are required to estimate a rigid "
+            f"transform; got {src.shape[0]}"
+        )
+    return src, tgt
+
+
+def estimate_transform_minimize(source, target) -> TransformEstimate:
+    """Estimate the transform by direct numerical minimization.
+
+    Solves ``argmin_{theta, tx, ty} E_f`` separately for ``f = +1`` and
+    ``f = -1`` (Section 4.3.1) and returns the solution with smaller
+    error.  Uses Nelder-Mead seeded from the closed-form solution, which
+    makes it robust without gradients.
+    """
+    src, tgt = _validate_correspondences(source, target)
+    seed = estimate_transform_closed_form(src, tgt)
+
+    best: Optional[TransformEstimate] = None
+    for reflect in (False, True):
+        # Seed each branch from the closed-form angle; translation seeds
+        # come from the centroid offset under that angle.
+        theta0 = seed.theta if reflect == seed.reflected else seed.theta + math.pi
+
+        def objective(params, reflect=reflect):
+            theta, tx, ty = params
+            matrix = rigid_transform_matrix(theta, tx, ty, reflect)
+            return transform_residual(src, tgt, matrix)
+
+        rot0 = rigid_transform_matrix(theta0, 0.0, 0.0, reflect)
+        mapped0 = apply_transform(src, rot0)
+        t0 = tgt.mean(axis=0) - mapped0.mean(axis=0)
+        result = minimize(
+            objective,
+            x0=np.array([theta0, t0[0], t0[1]]),
+            method="Nelder-Mead",
+            options={"xatol": 1e-10, "fatol": 1e-12, "maxiter": 2000},
+        )
+        theta, tx, ty = result.x
+        matrix = rigid_transform_matrix(theta, tx, ty, reflect)
+        error = transform_residual(src, tgt, matrix)
+        candidate = TransformEstimate(
+            matrix=matrix,
+            error=error,
+            rmse=math.sqrt(error / src.shape[0]),
+            theta=float(theta),
+            reflected=reflect,
+            n_correspondences=src.shape[0],
+        )
+        if best is None or candidate.error < best.error:
+            best = candidate
+    assert best is not None
+    return best
+
+
+def estimate_transform_closed_form(source, target) -> TransformEstimate:
+    """Estimate the transform with the paper's center-of-mass method.
+
+    The translation is fixed as the offset between the centers of mass of
+    the shared-neighbor sets; the rotation angle must satisfy::
+
+        [C_xu + C_yv, C_xv - C_yu] . [sin(theta), cos(theta)]^T = 0
+
+    Both roots (theta and theta + pi) and both reflection factors are
+    evaluated and the least-error combination wins, exactly as described
+    in Section 4.3.1.
+    """
+    src, tgt = _validate_correspondences(source, target)
+    mu_src = src.mean(axis=0)
+    mu_tgt = tgt.mean(axis=0)
+
+    best: Optional[TransformEstimate] = None
+    for reflect in (False, True):
+        # Reflection (f = -1) flips the second row of the rotation block,
+        # which for centered coordinates is equivalent to negating v and
+        # solving for a pure rotation.
+        u = src[:, 0] - mu_src[0]
+        v = src[:, 1] - mu_src[1]
+        if reflect:
+            v = -v
+        x = tgt[:, 0] - mu_tgt[0]
+        y = tgt[:, 1] - mu_tgt[1]
+
+        c_xu = float(np.mean(x * u))
+        c_yv = float(np.mean(y * v))
+        c_xv = float(np.mean(x * v))
+        c_yu = float(np.mean(y * u))
+        # Stationary condition of the correspondence error in the
+        # row-vector convention used by this library:
+        #   (C_xu + C_yv) sin(theta) + (C_yu - C_xv) cos(theta) = 0
+        # (the paper states the column-vector form; the sign of the cosine
+        # coefficient flips between the two conventions).
+        theta_root = math.atan2(c_xv - c_yu, c_xu + c_yv)
+        for theta in (theta_root, theta_root + math.pi):
+            # Build: translate(-mu_src) . rot/reflect . translate(+mu_tgt)
+            pre = np.array([[1, 0, 0], [0, 1, 0], [-mu_src[0], -mu_src[1], 1.0]])
+            rot = rigid_transform_matrix(theta, 0.0, 0.0, reflect)
+            post = np.array([[1, 0, 0], [0, 1, 0], [mu_tgt[0], mu_tgt[1], 1.0]])
+            matrix = pre @ rot @ post
+            error = transform_residual(src, tgt, matrix)
+            candidate = TransformEstimate(
+                matrix=matrix,
+                error=error,
+                rmse=math.sqrt(error / src.shape[0]),
+                theta=float(theta % (2 * math.pi)),
+                reflected=reflect,
+                n_correspondences=src.shape[0],
+            )
+            if best is None or candidate.error < best.error:
+                best = candidate
+    assert best is not None
+    return best
+
+
+def estimate_transform(source, target, method: str = "closed_form") -> TransformEstimate:
+    """Dispatch to a transform estimator by name.
+
+    Parameters
+    ----------
+    source, target : array-like of shape (n, 2)
+        Corresponding point coordinates in the two frames.
+    method : {"closed_form", "minimize"}
+        ``"closed_form"`` is the paper's mote-friendly estimator (the
+        default); ``"minimize"`` is the heavier reference method.
+    """
+    if method == "closed_form":
+        return estimate_transform_closed_form(source, target)
+    if method == "minimize":
+        return estimate_transform_minimize(source, target)
+    raise ValidationError(f"unknown transform method {method!r}")

@@ -1,0 +1,18 @@
+"""Deployment generators: the paper's offset grid, town/random layouts,
+and anchor selection strategies."""
+
+from .anchors import boundary_anchors, random_anchors, spread_anchors
+from .grid import offset_grid, paper_grid, square_grid
+from .random_layout import parking_lot_layout, town_layout, uniform_random_layout
+
+__all__ = [
+    "offset_grid",
+    "paper_grid",
+    "square_grid",
+    "uniform_random_layout",
+    "town_layout",
+    "parking_lot_layout",
+    "random_anchors",
+    "spread_anchors",
+    "boundary_anchors",
+]

@@ -1,0 +1,81 @@
+"""Render experiment results as human-readable reports.
+
+Used by ``examples/reproduce_paper.py`` and to (re)generate
+``EXPERIMENTS.md``: one markdown section per experiment with the
+paper-vs-measured table and the shape-check verdicts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping
+
+from .base import ExperimentResult
+
+__all__ = ["format_value", "render_markdown", "render_text", "summary_counts"]
+
+
+def format_value(value) -> str:
+    """Human-friendly rendering of a paper/measured value."""
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def summary_counts(results: Mapping[str, ExperimentResult]) -> Dict[str, int]:
+    """Aggregate pass counts over a result set."""
+    return {
+        "experiments": len(results),
+        "experiments_passed": sum(r.passed for r in results.values()),
+        "checks": sum(len(r.checks) for r in results.values()),
+        "checks_passed": sum(
+            sum(c.passed for c in r.checks) for r in results.values()
+        ),
+    }
+
+
+def render_markdown(
+    results: Mapping[str, ExperimentResult],
+    *,
+    title: str = "EXPERIMENTS — paper vs. measured",
+    preamble: Iterable[str] = (),
+) -> str:
+    """Render a full markdown report (the EXPERIMENTS.md format)."""
+    lines = [f"# {title}", ""]
+    lines.extend(preamble)
+    if preamble:
+        lines.append("")
+    counts = summary_counts(results)
+    lines.append(
+        f"**Summary: {counts['experiments_passed']}/{counts['experiments']} "
+        f"experiments reproduce the paper's shape "
+        f"({counts['checks_passed']}/{counts['checks']} individual checks).**"
+    )
+    lines.append("")
+    for experiment_id in sorted(results):
+        result = results[experiment_id]
+        lines.append(f"## {experiment_id} — {result.title}")
+        lines.append("")
+        lines.append("| metric | paper | measured |")
+        lines.append("|---|---|---|")
+        for key in sorted(set(result.paper) | set(result.measured)):
+            paper_v = format_value(result.paper.get(key, "—"))
+            measured_v = format_value(result.measured.get(key, "—"))
+            lines.append(f"| {key} | {paper_v} | {measured_v} |")
+        lines.append("")
+        for check in result.checks:
+            mark = "✅" if check.passed else "❌"
+            detail = f" — {check.detail}" if check.detail else ""
+            lines.append(f"- {mark} {check.name}{detail}")
+        lines.append("")
+    return "\n".join(lines) + "\n"
+
+
+def render_text(results: Mapping[str, ExperimentResult]) -> str:
+    """Plain-text report: concatenated experiment summaries."""
+    blocks = [results[eid].summary() for eid in sorted(results)]
+    counts = summary_counts(results)
+    blocks.append(
+        f"{counts['experiments_passed']}/{counts['experiments']} experiments "
+        f"({counts['checks_passed']}/{counts['checks']} checks) pass"
+    )
+    return "\n\n".join(blocks)

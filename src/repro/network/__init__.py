@@ -1,0 +1,27 @@
+"""Network substrate: clocks, radio links, nodes, the discrete-event
+simulator and flooding."""
+
+from .clock import (
+    MAX_CLOCK_RATE_DIFFERENCE,
+    DriftingClock,
+    FtspSyncModel,
+    sync_ranging_error_m,
+)
+from .flooding import FloodResult, flood
+from .node import SensorNode
+from .radio import RadioModel
+from .simulator import Message, NetworkSimulator, SimulationStats
+
+__all__ = [
+    "MAX_CLOCK_RATE_DIFFERENCE",
+    "DriftingClock",
+    "FtspSyncModel",
+    "sync_ranging_error_m",
+    "SensorNode",
+    "RadioModel",
+    "Message",
+    "NetworkSimulator",
+    "SimulationStats",
+    "FloodResult",
+    "flood",
+]

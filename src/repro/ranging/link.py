@@ -1,0 +1,238 @@
+"""Signal-level simulation of one acoustic ranging link.
+
+This module generates the binary tone-detector buffers that the
+detection algorithms of :mod:`repro.ranging.detection` consume.  For a
+directed link (source chirps, receiver listens) it reproduces, at the
+level of individual 16 kHz detector samples, every error source the
+paper enumerates in Section 3.4:
+
+1. *Timing effects* — per-chirp arrival jitter (sync + sampling
+   granularity).
+2. *Non-deterministic delays in acoustic devices* — speaker power-up
+   ramp at the start of each chirp (the reason chirps below 8 ms stopped
+   working) and per-node constant latency bias.
+3. *Unit-to-unit variation* — speaker/microphone gain offsets and the
+   occasional faulty unit, via :class:`~repro.acoustics.hardware.HardwareProfile`.
+4. *Signal attenuation* — spherical spreading + environment excess
+   attenuation + a persistent per-link ground-cover gain.
+5. *Noise* — a stationary false-positive floor plus short impulsive
+   bursts (independent across chirps) and rare long events (aircraft)
+   that stay elevated across all chirps of a measurement.
+6. *Echoes* — persistent multipath arrivals at a delayed offset.
+7. *Unreliable tone detection* — the binary detector's saturation < 1
+   and SNR-dependent miss rate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from .._validation import check_non_negative, check_probability, ensure_rng
+from ..acoustics.environment import Environment
+from ..acoustics.hardware import HardwareProfile
+from ..acoustics.noise import NoiseBurstProcess
+from ..acoustics.propagation import LOUD_SPEAKER_SOURCE_LEVEL_DB, snr_db
+from ..acoustics.signal import ChirpPattern
+from ..acoustics.tone_detector import ToneDetectorModel
+from .tdoa import TdoaConfig
+
+__all__ = ["LinkRealization", "AcousticLinkSimulator"]
+
+
+@dataclass(frozen=True)
+class LinkRealization:
+    """Persistent characteristics of one (undirected) acoustic link.
+
+    Drawn once per node pair and reused across measurement rounds, so
+    link-specific effects (a patch of tall grass, a wall reflecting an
+    echo) are *correlated across rounds* — the property that decides
+    which filtering technique can remove which error (Section 3.4).
+    """
+
+    link_gain_db: float = 0.0
+    has_echo: bool = False
+    echo_delay_s: float = 0.0
+
+
+@dataclass
+class AcousticLinkSimulator:
+    """Generates binary detector buffers for directed ranging attempts.
+
+    Parameters
+    ----------
+    environment : Environment
+        Acoustic environment preset.
+    pattern : ChirpPattern
+        The emitted chirp pattern (defaults to the paper's 10 x 8 ms).
+    detector : ToneDetectorModel
+        The binary tone-detector response curve.
+    tdoa : TdoaConfig
+        Buffer geometry and unit conversions.
+    source_level_db : float
+        Speaker output power (105 dB for the extended board).
+    timing_jitter_samples : float
+        Std of per-chirp arrival jitter, in detector samples.
+    ramp_samples : int
+        Speaker power-up ramp: hit probability scales linearly from
+        ~1/ramp to 1 over the first ``ramp_samples`` of each chirp.
+        The default (64 samples = 4 ms at 16 kHz) encodes the paper's
+        observation that chirps shorter than 8 ms "did not have enough
+        time to fully power up" — a 4 ms chirp never reaches full
+        output, an 8 ms chirp spends half its length at full power.
+    long_noise_probability : float
+        Probability that a measurement happens during a long wide-band
+        noise event (aircraft overhead) raising the false-positive rate
+        for *all* chirps.
+    long_noise_fp_rate : float
+        Per-sample false-positive probability during such an event.
+    faulty_fp_rate : float
+        False-positive floor of a faulty receiver unit.
+    faulty_hit_scale : float
+        Multiplier on hit probability for faulty units.
+    """
+
+    environment: Environment
+    pattern: ChirpPattern = field(default_factory=ChirpPattern)
+    detector: ToneDetectorModel = field(default_factory=ToneDetectorModel)
+    tdoa: TdoaConfig = field(default_factory=TdoaConfig)
+    source_level_db: float = LOUD_SPEAKER_SOURCE_LEVEL_DB
+    timing_jitter_samples: float = 1.5
+    ramp_samples: int = 64
+    long_noise_probability: float = 0.03
+    long_noise_fp_rate: float = 0.05
+    faulty_fp_rate: float = 0.04
+    faulty_hit_scale: float = 0.4
+
+    def __post_init__(self):
+        check_non_negative(self.timing_jitter_samples, "timing_jitter_samples")
+        if self.ramp_samples < 1:
+            raise ValueError("ramp_samples must be >= 1")
+        check_probability(self.long_noise_probability, "long_noise_probability")
+        check_probability(self.long_noise_fp_rate, "long_noise_fp_rate")
+        check_probability(self.faulty_fp_rate, "faulty_fp_rate")
+        check_non_negative(self.faulty_hit_scale, "faulty_hit_scale")
+        self._bursts = NoiseBurstProcess.from_environment(self.environment)
+
+    # ------------------------------------------------------------------
+    # Link construction
+    # ------------------------------------------------------------------
+
+    def draw_link(self, rng=None) -> LinkRealization:
+        """Draw the persistent realization for one undirected link."""
+        rng = ensure_rng(rng)
+        lo, hi = self.environment.echo_delay_range_s
+        has_echo = bool(rng.random() < self.environment.echo_probability)
+        return LinkRealization(
+            link_gain_db=float(rng.normal(0.0, self.environment.ground_variation_db)),
+            has_echo=has_echo,
+            echo_delay_s=float(rng.uniform(lo, hi)) if has_echo else 0.0,
+        )
+
+    def link_snr_db(
+        self,
+        distance_m: float,
+        source_hw: HardwareProfile,
+        receiver_hw: HardwareProfile,
+        link: LinkRealization,
+    ) -> float:
+        """SNR at the receiver for this link."""
+        return float(
+            snr_db(
+                distance_m,
+                self.environment,
+                source_level_db=self.source_level_db,
+                unit_gain_db=source_hw.speaker_gain_db + receiver_hw.mic_gain_db,
+                link_gain_db=link.link_gain_db,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Buffer simulation
+    # ------------------------------------------------------------------
+
+    def simulate_counts(
+        self,
+        distance_m: float,
+        *,
+        source_hw: Optional[HardwareProfile] = None,
+        receiver_hw: Optional[HardwareProfile] = None,
+        link: Optional[LinkRealization] = None,
+        num_chirps: Optional[int] = None,
+        rng=None,
+    ) -> np.ndarray:
+        """Simulate one measurement's accumulated count buffer.
+
+        Each chirp is generated as an independent binary stream (the
+        service re-synchronizes per chirp) and the streams are summed,
+        mirroring ``record-signal``.  Returns the int64 count buffer of
+        length ``tdoa.buffer_length``.
+        """
+        check_non_negative(distance_m, "distance_m")
+        rng = ensure_rng(rng)
+        source_hw = source_hw if source_hw is not None else HardwareProfile()
+        receiver_hw = receiver_hw if receiver_hw is not None else HardwareProfile()
+        link = link if link is not None else self.draw_link(rng)
+        if num_chirps is None:
+            num_chirps = self.pattern.num_chirps
+
+        n = self.tdoa.buffer_length
+        fs = self.tdoa.sampling_rate_hz
+        chirp_len = self.pattern.chirp_samples(fs)
+        snr = self.link_snr_db(distance_m, source_hw, receiver_hw, link)
+        p_hit = float(self.detector.hit_probability(snr))
+        if receiver_hw.faulty:
+            p_hit *= self.faulty_hit_scale
+
+        base_fp = self.environment.false_positive_rate
+        if receiver_hw.faulty:
+            base_fp = max(base_fp, self.faulty_fp_rate)
+        # A long noise event (e.g. aircraft) covers the entire
+        # measurement: all chirps see the elevated floor.
+        long_noise = rng.random() < self.long_noise_probability
+        if long_noise:
+            base_fp = max(base_fp, self.long_noise_fp_rate)
+
+        # Latency biases shift the arrival by a constant per node pair.
+        latency_s = source_hw.latency_bias_s + receiver_hw.latency_bias_s
+        nominal_arrival = distance_m / self.tdoa.meters_per_sample + latency_s * fs
+
+        # Speaker power-up ramp over the first ramp_samples of a chirp.
+        ramp = np.minimum(
+            1.0, np.arange(1, chirp_len + 1, dtype=float) / self.ramp_samples
+        )
+
+        counts = np.zeros(n, dtype=np.int64)
+        for _ in range(int(num_chirps)):
+            p = self._bursts.false_positive_track(n, fs, base_fp, rng)
+            arrival = nominal_arrival + rng.normal(0.0, self.timing_jitter_samples)
+            self._add_signal(p, arrival, p_hit, ramp)
+            if link.has_echo:
+                echo_arrival = arrival + link.echo_delay_s * fs
+                self._add_signal(
+                    p, echo_arrival, p_hit * self.environment.echo_strength, ramp
+                )
+            counts += (rng.random(n) < p).astype(np.int64)
+        return np.minimum(counts, 15)
+
+    @staticmethod
+    def _add_signal(p: np.ndarray, arrival: float, p_hit: float, ramp: np.ndarray) -> None:
+        """Mix a chirp's hit probability into the per-sample track *p*.
+
+        Combination is complementary (``1 - (1-p_noise)(1-p_signal)``):
+        noise and signal are independent chances of the detector firing.
+        """
+        n = p.shape[0]
+        start = int(round(arrival))
+        if start >= n:
+            return
+        chirp_len = ramp.shape[0]
+        lo = max(0, start)
+        hi = min(n, start + chirp_len)
+        if hi <= lo:
+            return
+        segment = ramp[lo - start : hi - start] * p_hit
+        p[lo:hi] = 1.0 - (1.0 - p[lo:hi]) * (1.0 - segment)

@@ -1,0 +1,107 @@
+"""Tests for campaign orchestration (repro.ranging.campaign)."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics import get_environment
+from repro.acoustics.hardware import HardwarePopulation
+from repro.network.radio import RadioModel
+from repro.ranging.campaign import CampaignConfig, RangingCampaign, run_campaign
+from repro.ranging.service import RangingService
+
+
+@pytest.fixture(scope="module")
+def service():
+    return RangingService(environment=get_environment("grass")).calibrate(rng=0)
+
+
+@pytest.fixture(scope="module")
+def small_grid():
+    xs, ys = np.meshgrid([0.0, 9.0, 18.0], [0.0, 9.0])
+    return np.stack([xs.ravel(), ys.ravel()], axis=1)
+
+
+class TestCampaignConfig:
+    def test_defaults(self):
+        config = CampaignConfig()
+        assert config.rounds == 3
+        assert config.attempt_range_m is None
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(rounds=0)
+        with pytest.raises(Exception):
+            CampaignConfig(attempt_range_m=-5.0)
+
+
+class TestRangingCampaign:
+    def test_produces_measurements_with_truth(self, service, small_grid):
+        measurements = run_campaign(small_grid, service, rounds=1, rng=1)
+        assert len(measurements) > 0
+        for m in measurements:
+            assert m.true_distance is not None
+            assert m.true_distance > 0
+
+    def test_round_indices_recorded(self, service, small_grid):
+        measurements = run_campaign(small_grid, service, rounds=3, rng=1)
+        rounds = {m.round_index for m in measurements}
+        assert rounds <= {0, 1, 2}
+        assert len(rounds) >= 2
+
+    def test_more_rounds_more_measurements(self, service, small_grid):
+        one = run_campaign(small_grid, service, rounds=1, rng=1)
+        three = run_campaign(small_grid, service, rounds=3, rng=1)
+        assert len(three) > len(one)
+
+    def test_close_pairs_nearly_always_measured(self, service, small_grid):
+        measurements = run_campaign(small_grid, service, rounds=3, rng=2)
+        # Adjacent nodes 9 m apart are well inside reliable range.
+        assert measurements.has_bidirectional(0, 1)
+
+    def test_out_of_range_pairs_skipped(self, service):
+        positions = np.array([[0.0, 0.0], [500.0, 0.0]])
+        campaign = RangingCampaign(positions, service, rng=0)
+        measurements = campaign.run()
+        assert len(measurements) == 0
+
+    def test_persistent_links(self, service, small_grid):
+        campaign = RangingCampaign(small_grid, service, rng=3)
+        link_a = campaign.link_for(0, 1)
+        link_b = campaign.link_for(1, 0)
+        assert link_a is link_b  # undirected persistence
+
+    def test_hardware_assigned_per_node(self, service, small_grid):
+        campaign = RangingCampaign(small_grid, service, rng=3)
+        assert set(campaign.hardware) == set(range(len(small_grid)))
+
+    def test_radio_loss_reduces_measurements(self, service, small_grid):
+        lossy = CampaignConfig(radio=RadioModel(delivery_probability=0.3))
+        reliable = CampaignConfig(radio=RadioModel(delivery_probability=1.0))
+        n_lossy = len(
+            RangingCampaign(small_grid, service, config=lossy, rng=4).run()
+        )
+        n_reliable = len(
+            RangingCampaign(small_grid, service, config=reliable, rng=4).run()
+        )
+        assert n_lossy < n_reliable
+
+    def test_attempt_range_override(self, service, small_grid):
+        tight = CampaignConfig(attempt_range_m=5.0)
+        campaign = RangingCampaign(small_grid, service, config=tight, rng=5)
+        assert len(campaign.run()) == 0  # closest pair is 9 m
+
+    def test_faulty_population_produces_garbage(self, service, small_grid):
+        all_faulty = HardwarePopulation(faulty_probability=1.0)
+        measurements = run_campaign(
+            small_grid, service, rounds=2, rng=6, hardware_population=all_faulty
+        )
+        errors = np.abs(measurements.signed_errors())
+        assert errors.size == 0 or errors.max() > 1.0
+
+    def test_deterministic(self, service, small_grid):
+        a = run_campaign(small_grid, service, rounds=2, rng=7)
+        b = run_campaign(small_grid, service, rounds=2, rng=7)
+        assert len(a) == len(b)
+        da = sorted(m.distance for m in a)
+        db = sorted(m.distance for m in b)
+        assert np.allclose(da, db)

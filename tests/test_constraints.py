@@ -1,0 +1,93 @@
+"""Tests for deployment-constraint filtering (repro.ranging.constraints)."""
+
+import numpy as np
+import pytest
+
+from repro.core.measurements import MeasurementSet
+from repro.deploy import offset_grid
+from repro.errors import ValidationError
+from repro.ranging.constraints import (
+    feasible_distance_filter,
+    grid_distance_set,
+    min_spacing_filter,
+)
+
+
+class TestMinSpacingFilter:
+    def test_drops_impossible_short(self):
+        ms = MeasurementSet()
+        ms.add_distance(0, 1, 0.5)   # impossible with 9 m spacing
+        ms.add_distance(2, 3, 9.2)
+        out = min_spacing_filter(ms, 9.0)
+        assert (0, 1) not in out
+        assert (2, 3) in out
+
+    def test_slack_keeps_near_minimum(self):
+        ms = MeasurementSet()
+        ms.add_distance(0, 1, 8.3)  # 9 m link measured slightly short
+        out = min_spacing_filter(ms, 9.0)
+        assert (0, 1) in out
+
+    def test_invalid_spacing(self):
+        with pytest.raises(ValidationError):
+            min_spacing_filter(MeasurementSet(), 0.0)
+
+
+class TestGridDistanceSet:
+    def test_offset_grid_distances(self):
+        grid = offset_grid()
+        feasible = grid_distance_set(grid, 15.0)
+        # Must contain the 9 m column spacing and the ~10.06 m diagonal.
+        assert np.any(np.isclose(feasible, 9.0, atol=0.02))
+        assert np.any(np.isclose(feasible, np.hypot(9.0, 4.5), atol=0.02))
+        assert feasible.max() <= 15.0
+
+    def test_sorted_unique(self):
+        grid = offset_grid()
+        feasible = grid_distance_set(grid, 22.0)
+        assert np.all(np.diff(feasible) > 0)
+
+    def test_invalid(self):
+        with pytest.raises(ValidationError):
+            grid_distance_set(offset_grid(), 0.0)
+
+
+class TestFeasibleDistanceFilter:
+    def test_keeps_near_feasible(self):
+        ms = MeasurementSet()
+        ms.add_distance(0, 1, 9.1)
+        out = feasible_distance_filter(ms, [9.0, 10.06], tolerance_m=0.5)
+        assert (0, 1) in out
+
+    def test_drops_far_from_feasible(self):
+        ms = MeasurementSet()
+        ms.add_distance(0, 1, 5.0)  # nothing feasible near 5 m
+        out = feasible_distance_filter(ms, [9.0, 10.06], tolerance_m=1.0)
+        assert len(out) == 0
+
+    def test_snap_replaces_value(self):
+        ms = MeasurementSet()
+        ms.add_distance(0, 1, 9.3, true_distance=9.0)
+        out = feasible_distance_filter(ms, [9.0, 10.06], tolerance_m=0.5, snap=True)
+        assert out.distances(0, 1)[0] == pytest.approx(9.0)
+
+    def test_snap_improves_grid_measurements(self):
+        grid = offset_grid()
+        feasible = grid_distance_set(grid, 22.0)
+        rng = np.random.default_rng(0)
+        ms = MeasurementSet()
+        for (i, j) in [(0, 1), (0, 7), (1, 8), (7, 8)]:
+            truth = float(np.hypot(*(grid[i] - grid[j])))
+            ms.add_distance(i, j, truth + rng.normal(0, 0.2), true_distance=truth)
+        snapped = feasible_distance_filter(ms, feasible, tolerance_m=1.0, snap=True)
+        raw_err = np.abs(ms.signed_errors()).mean()
+        snap_err = np.abs(snapped.signed_errors()).mean()
+        assert snap_err <= raw_err + 1e-9
+
+    def test_empty_feasible_rejected(self):
+        with pytest.raises(ValidationError):
+            feasible_distance_filter(MeasurementSet(), [])
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValidationError):
+            feasible_distance_filter(MeasurementSet(), [9.0], tolerance_m=-1.0)

@@ -1,0 +1,213 @@
+"""Tests for repro.core.distributed (distributed LSS pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.core.distributed import (
+    DistributedConfig,
+    build_local_maps,
+    build_transforms,
+    distributed_localize,
+)
+from repro.core.evaluation import evaluate_localization
+from repro.core.measurements import EdgeList, MeasurementSet
+from repro.deploy import square_grid
+from repro.errors import InsufficientDataError, ValidationError
+from repro.ranging import gaussian_ranges
+
+
+@pytest.fixture(scope="module")
+def grid_scenario():
+    positions = square_grid(4, 4, spacing_m=10.0)
+    ranges = gaussian_ranges(positions, max_range_m=16.0, sigma_m=0.05, rng=3)
+    return positions, ranges
+
+
+class TestDistributedConfig:
+    def test_defaults(self):
+        config = DistributedConfig()
+        assert config.transform_method == "closed_form"
+        assert config.tree == "bfs"
+
+    def test_invalid_values(self):
+        with pytest.raises(ValidationError):
+            DistributedConfig(transform_method="guess")
+        with pytest.raises(ValidationError):
+            DistributedConfig(min_shared=1)
+        with pytest.raises(ValidationError):
+            DistributedConfig(tree="dfs")
+
+    def test_effective_local_lss_injects_spacing(self):
+        config = DistributedConfig(min_spacing_m=9.0)
+        assert config.effective_local_lss.min_spacing_m == 9.0
+        assert config.local_lss.min_spacing_m is None
+
+    def test_effective_local_lss_passthrough(self):
+        config = DistributedConfig()
+        assert config.effective_local_lss is config.local_lss
+
+
+class TestBuildLocalMaps:
+    def test_every_connected_node_gets_a_map(self, grid_scenario):
+        positions, ranges = grid_scenario
+        maps = build_local_maps(ranges, len(positions), rng=1)
+        assert set(maps) == set(range(len(positions)))
+
+    def test_owner_in_own_map(self, grid_scenario):
+        positions, ranges = grid_scenario
+        maps = build_local_maps(ranges, len(positions), rng=1)
+        for owner, local_map in maps.items():
+            assert owner in local_map.coordinates
+
+    def test_maps_preserve_local_distances(self, grid_scenario):
+        positions, ranges = grid_scenario
+        maps = build_local_maps(ranges, len(positions), rng=1)
+        # Check one map: distances in local coordinates match truth.
+        local_map = maps[5]
+        members = local_map.members
+        est = local_map.coords_for(members)
+        act = positions[members]
+        est_d = np.hypot(*(est[0] - est[1]))
+        act_d = np.hypot(*(act[0] - act[1]))
+        assert est_d == pytest.approx(act_d, abs=1.0)
+
+    def test_isolated_node_skipped(self):
+        ms = MeasurementSet()
+        ms.add_distance(0, 1, 5.0)
+        ms.add_distance(1, 2, 5.0)
+        ms.add_distance(0, 2, 7.0)
+        # Node 3 has no measurements at all.
+        maps = build_local_maps(ms, 4, rng=0)
+        assert 3 not in maps
+
+    def test_empty_measurements_rejected(self):
+        with pytest.raises(InsufficientDataError):
+            build_local_maps(MeasurementSet(), 4)
+
+
+class TestBuildTransforms:
+    def test_symmetric_keys(self, grid_scenario):
+        positions, ranges = grid_scenario
+        config = DistributedConfig()
+        maps = build_local_maps(ranges, len(positions), config=config, rng=1)
+        transforms = build_transforms(maps, config=config)
+        for (a, b) in transforms:
+            assert (b, a) in transforms
+
+    def test_transforms_are_accurate_on_clean_data(self, grid_scenario):
+        positions, ranges = grid_scenario
+        config = DistributedConfig()
+        maps = build_local_maps(ranges, len(positions), config=config, rng=1)
+        transforms = build_transforms(maps, config=config)
+        rmses = np.array([t.rmse for t in transforms.values()])
+        assert np.median(rmses) < 0.5
+
+    def test_transform_maps_between_frames(self, grid_scenario):
+        positions, ranges = grid_scenario
+        config = DistributedConfig()
+        maps = build_local_maps(ranges, len(positions), config=config, rng=1)
+        transforms = build_transforms(maps, config=config)
+        (a, b), estimate = next(iter(transforms.items()))
+        shared = sorted(set(maps[a].members) & set(maps[b].members))
+        mapped = estimate.apply(maps[b].coords_for(shared))
+        target = maps[a].coords_for(shared)
+        assert np.abs(mapped - target).max() < 2.0
+
+    def test_min_shared_respected(self, grid_scenario):
+        positions, ranges = grid_scenario
+        config = DistributedConfig(min_shared=10)
+        maps = build_local_maps(ranges, len(positions), config=config, rng=1)
+        transforms = build_transforms(maps, config=config)
+        for (a, b) in transforms:
+            shared = set(maps[a].members) & set(maps[b].members)
+            assert len(shared) >= 10
+
+
+class TestDistributedLocalize:
+    @pytest.mark.parametrize("tree", ["bfs", "best"])
+    def test_full_pipeline_accuracy(self, grid_scenario, tree):
+        positions, ranges = grid_scenario
+        config = DistributedConfig(min_spacing_m=10.0, tree=tree)
+        result = distributed_localize(ranges, len(positions), root=5, config=config, rng=2)
+        assert result.localized.all()
+        report = evaluate_localization(
+            result.positions, positions, localized_mask=result.localized, align=True
+        )
+        assert report.average_error < 1.0
+
+    def test_root_frame_is_global(self, grid_scenario):
+        positions, ranges = grid_scenario
+        result = distributed_localize(ranges, len(positions), root=5, rng=2)
+        # The root's position equals its own local-map coordinate.
+        own = result.local_maps[5].coordinates[5]
+        assert np.allclose(result.positions[5], own)
+
+    def test_parents_form_tree(self, grid_scenario):
+        positions, ranges = grid_scenario
+        result = distributed_localize(ranges, len(positions), root=0, rng=2)
+        assert result.parents[0] is None
+        for node, parent in result.parents.items():
+            if node == result.root:
+                continue
+            # Walking up must terminate at the root.
+            seen = set()
+            current = node
+            while current != result.root:
+                assert current not in seen
+                seen.add(current)
+                current = result.parents[current]
+
+    def test_invalid_root(self, grid_scenario):
+        positions, ranges = grid_scenario
+        with pytest.raises(ValidationError):
+            distributed_localize(ranges, len(positions), root=99)
+
+    def test_root_without_map_rejected(self):
+        ms = MeasurementSet()
+        ms.add_distance(0, 1, 5.0)
+        ms.add_distance(1, 2, 5.0)
+        ms.add_distance(0, 2, 7.0)
+        with pytest.raises(InsufficientDataError):
+            distributed_localize(ms, 4, root=3)
+
+    def test_disconnected_component_unlocalized(self):
+        # Two separate triangles; root in the first one.
+        positions = np.array(
+            [
+                [0.0, 0.0], [10.0, 0.0], [5.0, 8.0],
+                [100.0, 0.0], [110.0, 0.0], [105.0, 8.0],
+            ]
+        )
+        ms = MeasurementSet()
+        for i, j in [(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)]:
+            d = float(np.hypot(*(positions[i] - positions[j])))
+            ms.add_distance(i, j, d, true_distance=d)
+        result = distributed_localize(ms, 6, root=0, rng=0)
+        assert result.localized[:3].all()
+        assert not result.localized[3:].any()
+
+    def test_precomputed_maps_reused(self, grid_scenario):
+        positions, ranges = grid_scenario
+        config = DistributedConfig()
+        maps = build_local_maps(ranges, len(positions), config=config, rng=1)
+        result = distributed_localize(
+            ranges, len(positions), root=5, config=config, rng=2, local_maps=maps
+        )
+        assert result.local_maps is maps
+
+    def test_sparse_data_degrades(self):
+        # Remove most measurements: error should blow up vs dense (the
+        # Figure 24 effect), while the pipeline still runs.
+        positions = square_grid(4, 4, spacing_m=10.0)
+        dense = gaussian_ranges(positions, max_range_m=16.0, sigma_m=0.3, rng=3)
+        sparse = gaussian_ranges(positions, max_range_m=10.5, sigma_m=0.3, rng=3)
+        config = DistributedConfig(min_spacing_m=10.0)
+        res_dense = distributed_localize(dense, 16, root=5, config=config, rng=2)
+        res_sparse = distributed_localize(sparse, 16, root=5, config=config, rng=2)
+        rep_dense = evaluate_localization(
+            res_dense.positions, positions, localized_mask=res_dense.localized, align=True
+        )
+        rep_sparse = evaluate_localization(
+            res_sparse.positions, positions, localized_mask=res_sparse.localized, align=True
+        )
+        assert rep_dense.average_error < rep_sparse.average_error + 5.0

@@ -1,0 +1,279 @@
+"""Tests for repro.core.lss (centralized least squares scaling)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.evaluation import align_to_reference, localization_errors
+from repro.core.lss import (
+    LssConfig,
+    lss_error,
+    lss_gradient,
+    lss_localize,
+    lss_localize_robust,
+)
+from repro.core.measurements import EdgeList, MeasurementSet
+from repro.errors import InsufficientDataError, ValidationError
+
+
+def square_edges(side=10.0, with_diagonals=True):
+    """Unit-square-ish test fixture: 4 nodes, known distances."""
+    positions = np.array(
+        [[0.0, 0.0], [side, 0.0], [side, side], [0.0, side]]
+    )
+    pairs = [(0, 1), (1, 2), (2, 3), (0, 3)]
+    if with_diagonals:
+        pairs += [(0, 2), (1, 3)]
+    pairs = np.asarray(pairs, dtype=np.int64)
+    dists = np.hypot(
+        *(positions[pairs[:, 0]] - positions[pairs[:, 1]]).T
+    )
+    edges = EdgeList(pairs=pairs, distances=dists, weights=np.ones(len(pairs)))
+    return positions, edges
+
+
+class TestLssConfig:
+    def test_defaults(self):
+        config = LssConfig()
+        assert config.min_spacing_m is None
+        assert config.constraint_weight == 10.0
+
+    def test_invalid_values(self):
+        with pytest.raises(ValidationError):
+            LssConfig(min_spacing_m=-1.0)
+        with pytest.raises(ValidationError):
+            LssConfig(max_epochs=0)
+        with pytest.raises(ValidationError):
+            LssConfig(restarts=0)
+        with pytest.raises(ValidationError):
+            LssConfig(step_size=0.0)
+        with pytest.raises(ValidationError):
+            LssConfig(backend="adam")
+
+
+class TestErrorAndGradient:
+    def test_error_zero_at_truth(self):
+        positions, edges = square_edges()
+        assert lss_error(positions, edges) == pytest.approx(0.0)
+
+    def test_error_positive_off_truth(self):
+        positions, edges = square_edges()
+        assert lss_error(positions + [1.0, -2.0] * np.arange(4)[:, None], edges) > 0
+
+    def test_error_weighted(self):
+        positions, edges = square_edges()
+        perturbed = positions.copy()
+        perturbed[0] += [1.0, 0.0]
+        base = lss_error(perturbed, edges)
+        heavier = EdgeList(
+            pairs=edges.pairs, distances=edges.distances, weights=edges.weights * 2
+        )
+        assert lss_error(perturbed, heavier) == pytest.approx(2 * base)
+
+    def test_constraint_term_adds(self):
+        positions, edges = square_edges()
+        # Add a 5th node on top of node 0 with no measurements.
+        pts = np.vstack([positions, positions[0] + [0.1, 0.0]])
+        cpairs = np.array([[0, 4], [1, 4], [2, 4], [3, 4]])
+        without = lss_error(pts, edges)
+        with_constraint = lss_error(
+            pts, edges, constraint_pairs=cpairs, min_spacing_m=5.0, constraint_weight=10.0
+        )
+        assert with_constraint > without
+
+    def test_constraint_inactive_when_respected(self):
+        positions, edges = square_edges()
+        pts = np.vstack([positions, [[50.0, 50.0]]])
+        cpairs = np.array([[0, 4]])
+        base = lss_error(pts, edges)
+        value = lss_error(
+            pts, edges, constraint_pairs=cpairs, min_spacing_m=5.0, constraint_weight=10.0
+        )
+        assert value == pytest.approx(base)
+
+    def test_gradient_zero_at_minimum(self):
+        positions, edges = square_edges()
+        grad = lss_gradient(positions, edges)
+        assert np.allclose(grad, 0.0, atol=1e-9)
+
+    def test_gradient_matches_numerical(self):
+        rng = np.random.default_rng(1)
+        positions, edges = square_edges()
+        pts = positions + rng.normal(0, 1.0, positions.shape)
+        cpairs = np.array([[0, 2]])
+        kwargs = dict(constraint_pairs=cpairs, min_spacing_m=20.0, constraint_weight=10.0)
+        grad = lss_gradient(pts, edges, **kwargs)
+        eps = 1e-6
+        for node in range(4):
+            for axis in range(2):
+                plus = pts.copy()
+                plus[node, axis] += eps
+                minus = pts.copy()
+                minus[node, axis] -= eps
+                numeric = (
+                    lss_error(plus, edges, **kwargs) - lss_error(minus, edges, **kwargs)
+                ) / (2 * eps)
+                assert grad[node, axis] == pytest.approx(numeric, abs=1e-4)
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_gradient_descent_direction_property(self, seed):
+        rng = np.random.default_rng(seed)
+        positions, edges = square_edges()
+        pts = positions + rng.normal(0, 2.0, positions.shape)
+        value = lss_error(pts, edges)
+        grad = lss_gradient(pts, edges)
+        if np.allclose(grad, 0):
+            return
+        stepped = pts - 1e-6 * grad
+        assert lss_error(stepped, edges) <= value + 1e-12
+
+
+class TestLssLocalize:
+    def test_recovers_square(self):
+        positions, edges = square_edges()
+        result = lss_localize(edges, 4, rng=0)
+        aligned = align_to_reference(result.positions, positions)
+        assert localization_errors(aligned, positions).max() < 0.05
+
+    def test_initial_configuration_used(self):
+        positions, edges = square_edges()
+        result = lss_localize(edges, 4, initial=positions, rng=0)
+        assert result.error < 1e-6
+
+    def test_initial_shape_checked(self):
+        _, edges = square_edges()
+        with pytest.raises(ValidationError):
+            lss_localize(edges, 4, initial=np.zeros((3, 2)))
+
+    def test_empty_measurements_rejected(self):
+        empty = EdgeList(
+            pairs=np.zeros((0, 2), dtype=np.int64),
+            distances=np.zeros(0),
+            weights=np.zeros(0),
+        )
+        with pytest.raises(InsufficientDataError):
+            lss_localize(empty, 4)
+
+    def test_edge_index_out_of_range(self):
+        edges = EdgeList(
+            pairs=np.array([[0, 9]]), distances=np.array([1.0]), weights=np.ones(1)
+        )
+        with pytest.raises(ValidationError):
+            lss_localize(edges, 4)
+
+    def test_measurement_set_input(self):
+        positions, edges = square_edges()
+        ms = MeasurementSet.from_edge_arrays(edges.pairs, edges.distances)
+        result = lss_localize(ms, 4, rng=0)
+        aligned = align_to_reference(result.positions, positions)
+        assert localization_errors(aligned, positions).max() < 0.05
+
+    def test_invalid_measurement_type(self):
+        with pytest.raises(ValidationError):
+            lss_localize({"pairs": []}, 4)
+
+    def test_trace_monotone_within_round(self):
+        positions, edges = square_edges()
+        config = LssConfig(restarts=1, max_epochs=200)
+        result = lss_localize(edges, 4, config=config, rng=0)
+        trace = result.error_trace
+        assert len(trace) > 1
+        # The per-epoch best error never increases inside a round.
+        assert all(trace[i + 1] <= trace[i] + 1e-9 for i in range(len(trace) - 1))
+
+    def test_round_boundaries_recorded(self):
+        _, edges = square_edges()
+        config = LssConfig(restarts=3, max_epochs=50)
+        result = lss_localize(edges, 4, config=config, rng=0)
+        assert len(result.round_boundaries) == 3
+        assert result.round_boundaries[0] == 0
+
+    def test_fixed_positions_pinned(self):
+        positions, edges = square_edges()
+        fixed = {0: positions[0], 1: positions[1]}
+        result = lss_localize(edges, 4, fixed_positions=fixed, rng=0)
+        assert np.allclose(result.positions[0], positions[0])
+        assert np.allclose(result.positions[1], positions[1])
+        # With two pins the solution is anchored up to reflection about
+        # the pinned axis; distances must still be honored.
+        assert result.stress < 1e-4
+
+    def test_fixed_position_bad_id(self):
+        _, edges = square_edges()
+        with pytest.raises(ValidationError):
+            lss_localize(edges, 4, fixed_positions={7: (0, 0)})
+
+    def test_fixed_position_bad_shape(self):
+        _, edges = square_edges()
+        with pytest.raises(ValidationError):
+            lss_localize(edges, 4, fixed_positions={0: (0, 0, 0)})
+
+    def test_lbfgs_backend_agrees(self):
+        positions, edges = square_edges()
+        config = LssConfig(backend="lbfgs", restarts=8)
+        result = lss_localize(edges, 4, config=config, rng=0)
+        aligned = align_to_reference(result.positions, positions)
+        assert localization_errors(aligned, positions).max() < 0.05
+
+    def test_stress_excludes_constraint(self):
+        positions, edges = square_edges()
+        config = LssConfig(min_spacing_m=9.0, restarts=2, max_epochs=300)
+        result = lss_localize(edges, 4, config=config, rng=0)
+        assert result.stress <= result.error + 1e-9
+
+    def test_deterministic_given_seed(self):
+        _, edges = square_edges()
+        a = lss_localize(edges, 4, rng=123)
+        b = lss_localize(edges, 4, rng=123)
+        assert np.allclose(a.positions, b.positions)
+
+    def test_constraint_helps_on_sparse_grid(self):
+        # 4x4 grid with only nearest-neighbor distances: the constraint
+        # pins the global structure where plain stress wanders.
+        xs, ys = np.meshgrid(np.arange(4) * 10.0, np.arange(4) * 10.0)
+        positions = np.stack([xs.ravel(), ys.ravel()], axis=1)
+        pairs = []
+        for i in range(16):
+            for j in range(i + 1, 16):
+                if np.hypot(*(positions[i] - positions[j])) <= 15.0:
+                    pairs.append((i, j))
+        pairs = np.asarray(pairs)
+        dists = np.hypot(*(positions[pairs[:, 0]] - positions[pairs[:, 1]]).T)
+        edges = EdgeList(pairs=pairs, distances=dists, weights=np.ones(len(pairs)))
+        con = lss_localize(
+            edges, 16, config=LssConfig(min_spacing_m=10.0, restarts=6), rng=3
+        )
+        aligned = align_to_reference(con.positions, positions)
+        assert localization_errors(aligned, positions).mean() < 1.0
+
+
+class TestRobustLss:
+    def test_trims_garbage_edge(self):
+        positions, edges = square_edges()
+        # Append a garbage low-confidence edge.
+        bad = EdgeList(
+            pairs=np.vstack([edges.pairs, [[0, 2]]]),
+            distances=np.append(edges.distances, 1.0),  # true diagonal ~14.1
+            weights=np.append(edges.weights, 0.15),
+        )
+        result = lss_localize_robust(bad, 4, trim_residual_m=3.0, rng=0)
+        aligned = align_to_reference(result.positions, positions)
+        assert localization_errors(aligned, positions).max() < 0.5
+
+    def test_no_trim_needed_matches_plain(self):
+        positions, edges = square_edges()
+        robust = lss_localize_robust(edges, 4, rng=0)
+        plain = lss_localize(edges, 4, rng=0)
+        assert robust.error == pytest.approx(plain.error, abs=1e-6)
+
+    def test_invalid_threshold(self):
+        _, edges = square_edges()
+        with pytest.raises(ValidationError):
+            lss_localize_robust(edges, 4, trim_residual_m=0.0)
+
+    def test_invalid_rounds(self):
+        _, edges = square_edges()
+        with pytest.raises(ValidationError):
+            lss_localize_robust(edges, 4, max_trim_rounds=-1)

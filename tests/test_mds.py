@@ -1,0 +1,165 @@
+"""Tests for repro.core.mds (classical MDS / MDS-MAP baselines)."""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation import align_to_reference, localization_errors
+from repro.core.geometry import pairwise_distances
+from repro.core.mds import classical_mds, complete_distances, mds_map
+from repro.core.measurements import EdgeList, MeasurementSet
+from repro.errors import (
+    GraphDisconnectedError,
+    InsufficientDataError,
+    ValidationError,
+)
+
+
+@pytest.fixture
+def config_points():
+    rng = np.random.default_rng(7)
+    return rng.uniform(0, 30, (8, 2))
+
+
+class TestClassicalMds:
+    def test_recovers_configuration(self, config_points):
+        dist = pairwise_distances(config_points)
+        coords = classical_mds(dist)
+        aligned = align_to_reference(coords, config_points)
+        assert localization_errors(aligned, config_points).max() < 1e-6
+
+    def test_output_centered(self, config_points):
+        coords = classical_mds(pairwise_distances(config_points))
+        assert np.allclose(coords.mean(axis=0), 0.0, atol=1e-8)
+
+    def test_one_component(self):
+        # Points on a line embed perfectly in 1-D.
+        line = np.stack([np.arange(5) * 3.0, np.zeros(5)], axis=1)
+        coords = classical_mds(pairwise_distances(line), n_components=1)
+        recovered = np.abs(coords[:, 0] - coords[0, 0])
+        assert np.allclose(sorted(recovered), np.arange(5) * 3.0, atol=1e-8)
+
+    def test_asymmetric_rejected(self):
+        bad = np.array([[0.0, 1.0], [2.0, 0.0]])
+        with pytest.raises(ValidationError):
+            classical_mds(bad)
+
+    def test_nonzero_diagonal_rejected(self):
+        bad = np.eye(3)
+        with pytest.raises(ValidationError):
+            classical_mds(bad)
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ValidationError):
+            classical_mds(np.zeros((2, 3)))
+
+    def test_bad_component_count(self, config_points):
+        dist = pairwise_distances(config_points)
+        with pytest.raises(ValidationError):
+            classical_mds(dist, n_components=0)
+        with pytest.raises(ValidationError):
+            classical_mds(dist, n_components=99)
+
+    def test_noisy_distances_still_close(self, config_points):
+        rng = np.random.default_rng(1)
+        dist = pairwise_distances(config_points)
+        noise = rng.normal(0, 0.1, dist.shape)
+        noisy = np.abs(dist + (noise + noise.T) / 2)
+        np.fill_diagonal(noisy, 0.0)
+        coords = classical_mds(noisy)
+        aligned = align_to_reference(coords, config_points)
+        assert localization_errors(aligned, config_points).mean() < 1.0
+
+
+class TestCompleteDistances:
+    def test_full_graph_passthrough(self, config_points):
+        dist = pairwise_distances(config_points)
+        n = len(config_points)
+        pairs = np.array([(i, j) for i in range(n) for j in range(i + 1, n)])
+        edges = EdgeList(
+            pairs=pairs,
+            distances=np.array([dist[i, j] for i, j in pairs]),
+            weights=np.ones(len(pairs)),
+        )
+        full = complete_distances(edges, n)
+        assert np.allclose(full, dist, atol=1e-9)
+
+    def test_path_completion(self):
+        # Chain 0-1-2: missing (0,2) filled with the path sum.
+        edges = EdgeList(
+            pairs=np.array([[0, 1], [1, 2]]),
+            distances=np.array([3.0, 4.0]),
+            weights=np.ones(2),
+        )
+        full = complete_distances(edges, 3)
+        assert full[0, 2] == pytest.approx(7.0)
+
+    def test_shortest_path_chosen(self):
+        # Two routes 0->2: direct 10 or 0-1-2 = 3+4.
+        edges = EdgeList(
+            pairs=np.array([[0, 1], [1, 2], [0, 2]]),
+            distances=np.array([3.0, 4.0, 10.0]),
+            weights=np.ones(3),
+        )
+        full = complete_distances(edges, 3)
+        assert full[0, 2] == pytest.approx(7.0)
+
+    def test_disconnected_raises(self):
+        edges = EdgeList(
+            pairs=np.array([[0, 1]]),
+            distances=np.array([1.0]),
+            weights=np.ones(1),
+        )
+        with pytest.raises(GraphDisconnectedError):
+            complete_distances(edges, 3)
+
+    def test_empty_raises(self):
+        empty = EdgeList(
+            pairs=np.zeros((0, 2), dtype=np.int64),
+            distances=np.zeros(0),
+            weights=np.zeros(0),
+        )
+        with pytest.raises(InsufficientDataError):
+            complete_distances(empty, 3)
+
+    def test_measurement_set_input(self):
+        ms = MeasurementSet()
+        ms.add_distance(0, 1, 2.0)
+        ms.add_distance(1, 2, 2.0)
+        full = complete_distances(ms, 3)
+        assert full[0, 2] == pytest.approx(4.0)
+
+    def test_invalid_type(self):
+        with pytest.raises(ValidationError):
+            complete_distances([(0, 1, 2.0)], 3)
+
+
+class TestMdsMap:
+    def test_dense_graph_accurate(self, config_points):
+        dist = pairwise_distances(config_points)
+        n = len(config_points)
+        pairs = []
+        for i in range(n):
+            for j in range(i + 1, n):
+                if dist[i, j] < 25.0:
+                    pairs.append((i, j))
+        pairs = np.asarray(pairs)
+        edges = EdgeList(
+            pairs=pairs,
+            distances=np.array([dist[i, j] for i, j in pairs]),
+            weights=np.ones(len(pairs)),
+        )
+        coords = mds_map(edges, n)
+        aligned = align_to_reference(coords, config_points)
+        assert localization_errors(aligned, config_points).mean() < 3.0
+
+    def test_returns_requested_shape(self, config_points):
+        dist = pairwise_distances(config_points)
+        n = len(config_points)
+        pairs = np.array([(i, j) for i in range(n) for j in range(i + 1, n)])
+        edges = EdgeList(
+            pairs=pairs,
+            distances=np.array([dist[i, j] for i, j in pairs]),
+            weights=np.ones(len(pairs)),
+        )
+        assert mds_map(edges, n).shape == (n, 2)
+        assert mds_map(edges, n, n_components=3).shape == (n, 3)

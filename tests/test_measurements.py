@@ -1,0 +1,280 @@
+"""Tests for the measurement data model (repro.core.measurements)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.measurements import EdgeList, MeasurementSet, RangeMeasurement
+from repro.errors import ValidationError
+
+
+class TestRangeMeasurement:
+    def test_basic_fields(self):
+        m = RangeMeasurement(0, 1, 9.5, true_distance=9.0, round_index=2)
+        assert m.source == 0 and m.receiver == 1
+        assert m.error == pytest.approx(0.5)
+
+    def test_error_none_without_truth(self):
+        assert RangeMeasurement(0, 1, 5.0).error is None
+
+    def test_self_pair_rejected(self):
+        with pytest.raises(ValidationError):
+            RangeMeasurement(3, 3, 1.0)
+
+    def test_negative_node_rejected(self):
+        with pytest.raises(ValidationError):
+            RangeMeasurement(-1, 0, 1.0)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValidationError):
+            RangeMeasurement(0, 1, -2.0)
+
+    def test_zero_distance_allowed(self):
+        # Garbage detections at buffer start produce 0.0 estimates.
+        assert RangeMeasurement(0, 1, 0.0).distance == 0.0
+
+
+class TestMeasurementSetBasics:
+    def test_empty(self):
+        ms = MeasurementSet()
+        assert len(ms) == 0
+        assert ms.undirected_pairs == []
+        assert ms.node_ids == []
+
+    def test_add_and_len(self):
+        ms = MeasurementSet()
+        ms.add_distance(0, 1, 5.0)
+        ms.add_distance(0, 1, 5.2)
+        ms.add_distance(1, 0, 4.9)
+        assert len(ms) == 3
+        assert ms.directed_pairs == [(0, 1), (1, 0)]
+        assert ms.undirected_pairs == [(0, 1)]
+
+    def test_contains(self):
+        ms = MeasurementSet()
+        ms.add_distance(2, 7, 3.0)
+        assert (2, 7) in ms
+        assert (7, 2) not in ms
+
+    def test_get_and_distances(self):
+        ms = MeasurementSet()
+        ms.add_distance(0, 1, 5.0)
+        ms.add_distance(0, 1, 6.0)
+        assert list(ms.distances(0, 1)) == [5.0, 6.0]
+        assert ms.distances(1, 0).size == 0
+
+    def test_neighbors(self):
+        ms = MeasurementSet()
+        ms.add_distance(0, 1, 1.0)
+        ms.add_distance(2, 0, 1.0)
+        ms.add_distance(3, 4, 1.0)
+        assert ms.neighbors(0) == [1, 2]
+        assert ms.neighbors(3) == [4]
+        assert ms.neighbors(9) == []
+
+    def test_has_bidirectional(self):
+        ms = MeasurementSet()
+        ms.add_distance(0, 1, 1.0)
+        assert not ms.has_bidirectional(0, 1)
+        ms.add_distance(1, 0, 1.0)
+        assert ms.has_bidirectional(0, 1)
+        assert ms.has_bidirectional(1, 0)
+
+    def test_degree_histogram(self):
+        ms = MeasurementSet()
+        ms.add_distance(0, 1, 1.0)
+        ms.add_distance(0, 2, 1.0)
+        assert ms.degree_histogram() == {0: 2, 1: 1, 2: 1}
+
+    def test_merge(self):
+        a = MeasurementSet()
+        a.add_distance(0, 1, 1.0)
+        b = MeasurementSet()
+        b.add_distance(1, 2, 2.0)
+        merged = a.merge(b)
+        assert len(merged) == 2
+        assert len(a) == 1 and len(b) == 1  # originals untouched
+
+    def test_iteration_yields_all(self):
+        ms = MeasurementSet()
+        ms.add_distance(0, 1, 1.0)
+        ms.add_distance(0, 1, 2.0)
+        ms.add_distance(2, 3, 3.0)
+        assert sorted(m.distance for m in ms) == [1.0, 2.0, 3.0]
+
+    def test_filter(self):
+        ms = MeasurementSet()
+        ms.add_distance(0, 1, 1.0)
+        ms.add_distance(0, 2, 10.0)
+        kept = ms.filter(lambda m: m.distance < 5)
+        assert len(kept) == 1
+
+    def test_restrict_to_nodes(self):
+        ms = MeasurementSet()
+        ms.add_distance(0, 1, 1.0)
+        ms.add_distance(1, 2, 1.0)
+        ms.add_distance(2, 3, 1.0)
+        sub = ms.restrict_to_nodes([0, 1, 2])
+        assert sub.undirected_pairs == [(0, 1), (1, 2)]
+
+    def test_signed_errors(self):
+        ms = MeasurementSet()
+        ms.add_distance(0, 1, 5.0, true_distance=4.0)
+        ms.add_distance(1, 2, 3.0)  # no truth
+        errs = ms.signed_errors()
+        assert errs == pytest.approx([1.0])
+
+
+class TestReduce:
+    def test_median(self):
+        ms = MeasurementSet()
+        for d in (5.0, 100.0, 5.2):
+            ms.add_distance(0, 1, d)
+        reduced = ms.reduce("median")
+        assert len(reduced) == 1
+        assert reduced.distances(0, 1)[0] == pytest.approx(5.2)
+
+    def test_mean(self):
+        ms = MeasurementSet()
+        for d in (4.0, 6.0):
+            ms.add_distance(0, 1, d)
+        assert ms.reduce("mean").distances(0, 1)[0] == pytest.approx(5.0)
+
+    def test_mode_resists_outliers(self):
+        ms = MeasurementSet()
+        for d in (5.0, 5.1, 5.2, 4.9, 17.0, 18.0):
+            ms.add_distance(0, 1, d)
+        value = ms.reduce("mode").distances(0, 1)[0]
+        assert 4.8 <= value <= 5.3
+
+    def test_mode_single_value(self):
+        ms = MeasurementSet()
+        ms.add_distance(0, 1, 7.7)
+        assert ms.reduce("mode").distances(0, 1)[0] == pytest.approx(7.7)
+
+    def test_unknown_statistic(self):
+        ms = MeasurementSet()
+        ms.add_distance(0, 1, 1.0)
+        with pytest.raises(ValidationError):
+            ms.reduce("max")
+
+    def test_truth_preserved_when_consistent(self):
+        ms = MeasurementSet()
+        ms.add_distance(0, 1, 5.0, true_distance=5.5)
+        ms.add_distance(0, 1, 5.4, true_distance=5.5)
+        reduced = ms.reduce("median")
+        assert reduced.get(0, 1)[0].true_distance == pytest.approx(5.5)
+
+    def test_reduce_idempotent(self):
+        ms = MeasurementSet()
+        for d in (1.0, 2.0, 3.0):
+            ms.add_distance(0, 1, d)
+        once = ms.reduce("median")
+        twice = once.reduce("median")
+        assert once.distances(0, 1)[0] == twice.distances(0, 1)[0]
+
+
+class TestSymmetrize:
+    def test_averages_directions(self):
+        ms = MeasurementSet()
+        ms.add_distance(0, 1, 10.0)
+        ms.add_distance(1, 0, 12.0)
+        sym = ms.symmetrized()
+        assert len(sym) == 1
+        assert sym.distances(0, 1)[0] == pytest.approx(11.0)
+
+    def test_keeps_one_way(self):
+        ms = MeasurementSet()
+        ms.add_distance(1, 0, 7.0)
+        sym = ms.symmetrized()
+        assert sym.distances(0, 1)[0] == pytest.approx(7.0)
+
+    def test_stores_as_min_max(self):
+        ms = MeasurementSet()
+        ms.add_distance(5, 2, 3.0)
+        sym = ms.symmetrized()
+        assert sym.directed_pairs == [(2, 5)]
+
+
+class TestEdgeList:
+    def test_export(self):
+        ms = MeasurementSet()
+        ms.add_distance(0, 1, 5.0)
+        ms.add_distance(1, 0, 7.0)
+        ms.add_distance(2, 0, 3.0)
+        edges = ms.to_edge_list()
+        assert len(edges) == 2
+        lookup = {tuple(p): d for p, d in zip(edges.pairs, edges.distances)}
+        assert lookup[(0, 1)] == pytest.approx(6.0)
+        assert lookup[(0, 2)] == pytest.approx(3.0)
+        assert np.all(edges.weights == 1.0)
+
+    def test_weight_fn(self):
+        ms = MeasurementSet()
+        ms.add_distance(0, 1, 10.0)
+        edges = ms.to_edge_list(weight_fn=lambda d: 1.0 / d)
+        assert edges.weights[0] == pytest.approx(0.1)
+
+    def test_empty_export(self):
+        edges = MeasurementSet().to_edge_list()
+        assert len(edges) == 0
+        assert edges.pairs.shape == (0, 2)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            EdgeList(
+                pairs=np.zeros((2, 2), dtype=np.int64),
+                distances=np.zeros(3),
+                weights=np.zeros(2),
+            )
+
+
+class TestFromEdgeArrays:
+    def test_roundtrip(self):
+        pairs = np.array([[0, 1], [1, 2]])
+        dists = np.array([3.0, 4.0])
+        ms = MeasurementSet.from_edge_arrays(pairs, dists, true_distances=[3.1, 4.1])
+        assert len(ms) == 2
+        assert ms.get(0, 1)[0].true_distance == pytest.approx(3.1)
+
+    def test_bad_shapes(self):
+        with pytest.raises(ValidationError):
+            MeasurementSet.from_edge_arrays(np.zeros((2, 3)), np.zeros(2))
+        with pytest.raises(ValidationError):
+            MeasurementSet.from_edge_arrays(np.zeros((2, 2)), np.zeros(3))
+        with pytest.raises(ValidationError):
+            MeasurementSet.from_edge_arrays(
+                np.zeros((2, 2)) + [[0, 1], [1, 2]],
+                np.zeros(2),
+                true_distances=np.zeros(1),
+            )
+
+
+@given(
+    distances=st.lists(st.floats(0.1, 50.0), min_size=1, max_size=9),
+)
+@settings(max_examples=50, deadline=None)
+def test_median_reduce_between_min_and_max(distances):
+    ms = MeasurementSet()
+    for d in distances:
+        ms.add_distance(0, 1, d)
+    value = ms.reduce("median").distances(0, 1)[0]
+    assert min(distances) - 1e-9 <= value <= max(distances) + 1e-9
+
+
+@given(
+    forward=st.lists(st.floats(0.1, 50.0), min_size=1, max_size=5),
+    backward=st.lists(st.floats(0.1, 50.0), min_size=1, max_size=5),
+)
+@settings(max_examples=50, deadline=None)
+def test_symmetrized_between_direction_medians(forward, backward):
+    ms = MeasurementSet()
+    for d in forward:
+        ms.add_distance(0, 1, d)
+    for d in backward:
+        ms.add_distance(1, 0, d)
+    value = ms.symmetrized().distances(0, 1)[0]
+    lo = min(np.median(forward), np.median(backward))
+    hi = max(np.median(forward), np.median(backward))
+    assert lo - 1e-9 <= value <= hi + 1e-9

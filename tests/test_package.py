@@ -1,0 +1,73 @@
+"""Public-API surface tests."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_subpackages_exposed(self):
+        for name in ("acoustics", "core", "deploy", "network", "ranging"):
+            assert hasattr(repro, name)
+
+    def test_convenience_reexports(self):
+        for name in (
+            "MeasurementSet",
+            "EdgeList",
+            "LssConfig",
+            "lss_localize",
+            "multilaterate",
+            "localize_network",
+            "distributed_localize",
+            "evaluate_localization",
+            "RangingService",
+            "gaussian_ranges",
+            "run_campaign",
+        ):
+            assert hasattr(repro, name), name
+
+    def test_all_entries_resolvable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_exceptions_exposed(self):
+        assert issubclass(repro.ValidationError, repro.ReproError)
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        "repro.core",
+        "repro.acoustics",
+        "repro.network",
+        "repro.ranging",
+        "repro.deploy",
+        "repro.experiments",
+    ],
+)
+def test_subpackage_all_resolvable(module):
+    mod = importlib.import_module(module)
+    assert hasattr(mod, "__all__")
+    for name in mod.__all__:
+        assert hasattr(mod, name), f"{module}.{name}"
+
+
+def test_quickstart_docstring_example_runs():
+    """The quickstart in the package docstring must actually work."""
+    from repro import core, deploy, ranging
+
+    positions = deploy.paper_grid(47)
+    ranges = ranging.gaussian_ranges(positions, max_range_m=22.0, sigma_m=0.33, rng=7)
+    result = core.lss_localize(
+        ranges,
+        len(positions),
+        config=core.LssConfig(min_spacing_m=9.0, restarts=4),
+        rng=7,
+    )
+    report = core.evaluate_localization(result.positions, positions, align=True)
+    assert report.average_error < 2.0

@@ -1,0 +1,85 @@
+"""Tests for the message-passing distributed protocol (repro.core.protocol)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DistributedConfig,
+    distributed_localize,
+    evaluate_localization,
+    run_distributed_protocol,
+)
+from repro.deploy import square_grid
+from repro.errors import ValidationError
+from repro.network.radio import RadioModel
+from repro.ranging import gaussian_ranges
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    positions = square_grid(4, 4, spacing_m=10.0)
+    ranges = gaussian_ranges(positions, max_range_m=16.0, sigma_m=0.1, rng=3)
+    config = DistributedConfig(min_spacing_m=10.0)
+    return positions, ranges, config
+
+
+class TestProtocolExecution:
+    def test_localizes_everyone(self, scenario):
+        positions, ranges, config = scenario
+        result = run_distributed_protocol(ranges, positions, root=5, config=config, rng=2)
+        assert result.localized.all()
+        report = evaluate_localization(
+            result.positions, positions, localized_mask=result.localized, align=True
+        )
+        assert report.average_error < 1.0
+
+    def test_message_cost_is_linear(self, scenario):
+        positions, ranges, config = scenario
+        n = len(positions)
+        result = run_distributed_protocol(ranges, positions, root=5, config=config, rng=2)
+        assert result.messages_per_phase["measurement_exchange"] == n
+        assert result.messages_per_phase["map_exchange"] == n
+        assert result.messages_per_phase["alignment_flood"] <= n
+        assert result.broadcasts_per_node <= 3.0
+
+    def test_matches_computational_pipeline(self, scenario):
+        positions, ranges, config = scenario
+        protocol = run_distributed_protocol(
+            ranges, positions, root=5, config=config, rng=2
+        )
+        computational = distributed_localize(ranges, 16, 5, config=config, rng=2)
+        rep_p = evaluate_localization(
+            protocol.positions, positions, localized_mask=protocol.localized, align=True
+        )
+        rep_c = evaluate_localization(
+            computational.positions,
+            positions,
+            localized_mask=computational.localized,
+            align=True,
+        )
+        # Same math, different plumbing: comparable accuracy.
+        assert abs(rep_p.average_error - rep_c.average_error) < 1.0
+
+    def test_invalid_root(self, scenario):
+        positions, ranges, config = scenario
+        with pytest.raises(ValidationError):
+            run_distributed_protocol(ranges, positions, root=99, config=config)
+
+    def test_invalid_measurements(self, scenario):
+        positions, _, config = scenario
+        with pytest.raises(ValidationError):
+            run_distributed_protocol([(0, 1, 5.0)], positions, root=0, config=config)
+
+    def test_radio_partition_limits_flood(self, scenario):
+        positions, ranges, config = scenario
+        # Radio so short nothing can talk: the flood never leaves root.
+        radio = RadioModel(comm_range_m=1.0, delivery_probability=1.0)
+        result = run_distributed_protocol(
+            ranges, positions, root=5, config=config, radio=radio, rng=2
+        )
+        assert result.localized.sum() == 1  # only the root knows its frame
+
+    def test_root_position_is_own_map_coordinate(self, scenario):
+        positions, ranges, config = scenario
+        result = run_distributed_protocol(ranges, positions, root=5, config=config, rng=2)
+        assert np.all(np.isfinite(result.positions[5]))

@@ -1,0 +1,88 @@
+"""Tests for the experiment-report renderers."""
+
+import pytest
+
+from repro.experiments.base import ExperimentResult, ShapeCheck
+from repro.experiments.report import (
+    format_value,
+    render_markdown,
+    render_text,
+    summary_counts,
+)
+
+
+@pytest.fixture
+def sample_results():
+    passing = ExperimentResult(
+        experiment_id="figX",
+        title="A passing experiment",
+        paper={"error_m": 1.0, "note": "yes"},
+        measured={"error_m": 1.1},
+        checks=[ShapeCheck("close enough", True, "1.1 vs 1.0")],
+    )
+    failing = ExperimentResult(
+        experiment_id="figY",
+        title="A failing experiment",
+        paper={"error_m": 1.0},
+        measured={"error_m": 9.0},
+        checks=[
+            ShapeCheck("close enough", False, "9.0 vs 1.0"),
+            ShapeCheck("ran at all", True),
+        ],
+    )
+    return {"figX": passing, "figY": failing}
+
+
+class TestFormatValue:
+    def test_float_precision(self):
+        assert format_value(1.23456) == "1.235"
+
+    def test_string_passthrough(self):
+        assert format_value("yes") == "yes"
+
+    def test_int(self):
+        assert format_value(3) == "3"
+
+
+class TestSummaryCounts:
+    def test_counts(self, sample_results):
+        counts = summary_counts(sample_results)
+        assert counts == {
+            "experiments": 2,
+            "experiments_passed": 1,
+            "checks": 3,
+            "checks_passed": 2,
+        }
+
+    def test_empty(self):
+        counts = summary_counts({})
+        assert counts["experiments"] == 0
+
+
+class TestRenderMarkdown:
+    def test_contains_tables_and_checks(self, sample_results):
+        text = render_markdown(sample_results)
+        assert "## figX — A passing experiment" in text
+        assert "| error_m | 1.000 | 1.100 |" in text
+        assert "✅ close enough — 1.1 vs 1.0" in text
+        assert "❌ close enough — 9.0 vs 1.0" in text
+        assert "1/2" in text
+
+    def test_preamble(self, sample_results):
+        text = render_markdown(
+            sample_results, title="Custom", preamble=["intro line"]
+        )
+        assert text.startswith("# Custom")
+        assert "intro line" in text
+
+    def test_missing_metric_dash(self, sample_results):
+        text = render_markdown(sample_results)
+        assert "| note | yes | — |" in text
+
+
+class TestRenderText:
+    def test_contains_summaries(self, sample_results):
+        text = render_text(sample_results)
+        assert "[figX]" in text and "[figY]" in text
+        assert "1/2 experiments" in text
+        assert "(2/3 checks)" in text

@@ -1,0 +1,200 @@
+"""Tests for synthetic range generation (repro.ranging.synthetic)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.measurements import EdgeList, MeasurementSet
+from repro.deploy import square_grid
+from repro.errors import ValidationError
+from repro.ranging.synthetic import (
+    StatisticalErrorModel,
+    augment_with_gaussian_ranges,
+    eligible_pairs,
+    gaussian_ranges,
+    statistical_campaign,
+)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return square_grid(4, 4, spacing_m=10.0)
+
+
+class TestEligiblePairs:
+    def test_respects_range(self, grid):
+        pairs = eligible_pairs(grid, 10.5)
+        dists = np.hypot(*(grid[pairs[:, 0]] - grid[pairs[:, 1]]).T)
+        assert dists.max() <= 10.5
+        # Exactly the 24 nearest-neighbor edges of a 4x4 grid.
+        assert len(pairs) == 24
+
+    def test_ordering(self, grid):
+        pairs = eligible_pairs(grid, 15.0)
+        assert np.all(pairs[:, 0] < pairs[:, 1])
+
+    def test_invalid_range(self, grid):
+        with pytest.raises(ValidationError):
+            eligible_pairs(grid, 0.0)
+
+
+class TestGaussianRanges:
+    def test_error_statistics(self, grid):
+        ms = gaussian_ranges(grid, max_range_m=22.0, sigma_m=0.33, rng=0)
+        errors = ms.signed_errors()
+        assert abs(errors.mean()) < 0.15
+        assert 0.2 < errors.std() < 0.5
+
+    def test_zero_sigma_exact(self, grid):
+        ms = gaussian_ranges(grid, max_range_m=22.0, sigma_m=0.0, rng=0)
+        assert np.allclose(ms.signed_errors(), 0.0)
+
+    def test_max_range_respected(self, grid):
+        ms = gaussian_ranges(grid, max_range_m=10.5, rng=0)
+        for m in ms:
+            assert m.true_distance <= 10.5
+
+    def test_explicit_pairs(self, grid):
+        pairs = np.array([[0, 1], [0, 2]])
+        ms = gaussian_ranges(grid, pairs=pairs, rng=0)
+        assert len(ms) == 2
+
+    def test_non_negative(self, grid):
+        ms = gaussian_ranges(grid, max_range_m=22.0, sigma_m=10.0, rng=0)
+        for m in ms:
+            assert m.distance >= 0.0
+
+
+class TestAugmentation:
+    def test_fills_unmeasured_pairs(self, grid):
+        ms = MeasurementSet()
+        ms.add_distance(0, 1, 10.0, true_distance=10.0)
+        out = augment_with_gaussian_ranges(ms, grid, max_range_m=10.5, rng=0)
+        assert len(out.undirected_pairs) == 24  # full NN edge set
+
+    def test_does_not_duplicate_measured(self, grid):
+        ms = MeasurementSet()
+        ms.add_distance(0, 1, 55.0)  # deliberately wrong; must survive
+        out = augment_with_gaussian_ranges(ms, grid, max_range_m=10.5, rng=0)
+        assert out.distances(0, 1)[0] == pytest.approx(55.0)
+
+    def test_n_extra_subsample(self, grid):
+        ms = MeasurementSet()
+        out = augment_with_gaussian_ranges(ms, grid, max_range_m=10.5, n_extra=5, rng=0)
+        assert len(out.undirected_pairs) == 5
+
+    def test_n_extra_larger_than_pool(self, grid):
+        ms = MeasurementSet()
+        out = augment_with_gaussian_ranges(
+            ms, grid, max_range_m=10.5, n_extra=10_000, rng=0
+        )
+        assert len(out.undirected_pairs) == 24
+
+    def test_negative_n_extra(self, grid):
+        with pytest.raises(ValidationError):
+            augment_with_gaussian_ranges(MeasurementSet(), grid, n_extra=-1)
+
+    def test_edge_list_form_preserves_weights(self, grid):
+        measured = EdgeList(
+            pairs=np.array([[0, 1]]),
+            distances=np.array([10.0]),
+            weights=np.array([0.4]),
+        )
+        out = augment_with_gaussian_ranges(
+            measured, grid, max_range_m=10.5, synthetic_weight=0.9, rng=0
+        )
+        assert isinstance(out, EdgeList)
+        assert out.weights[0] == 0.4
+        assert np.all(out.weights[1:] == 0.9)
+        assert len(out) == 24
+
+    def test_invalid_type(self, grid):
+        with pytest.raises(ValidationError):
+            augment_with_gaussian_ranges([(0, 1, 5.0)], grid)
+
+
+class TestStatisticalErrorModel:
+    def test_detection_probability_monotone(self):
+        model = StatisticalErrorModel()
+        probs = [model.detection_probability(d) for d in (5.0, 15.0, 20.0, 25.0)]
+        assert all(a >= b for a, b in zip(probs, probs[1:]))
+
+    def test_detection_half_point(self):
+        model = StatisticalErrorModel(detect_50_m=20.0)
+        assert model.detection_probability(20.0) == pytest.approx(0.5)
+
+    def test_sample_close_range_accuracy(self):
+        model = StatisticalErrorModel()
+        rng = np.random.default_rng(0)
+        estimates = [model.sample(8.0, rng) for _ in range(300)]
+        estimates = np.array([e for e in estimates if e is not None])
+        errors = estimates - 8.0
+        # Core behaviour: median error small.
+        assert abs(np.median(errors)) < 0.1
+
+    def test_sample_none_beyond_range(self):
+        model = StatisticalErrorModel()
+        rng = np.random.default_rng(1)
+        results = [model.sample(35.0, rng) for _ in range(50)]
+        assert sum(r is None for r in results) >= 45
+
+    def test_outliers_exist(self):
+        model = StatisticalErrorModel(outlier_probability=0.5)
+        rng = np.random.default_rng(2)
+        estimates = np.array(
+            [e for e in (model.sample(15.0, rng) for _ in range(200)) if e is not None]
+        )
+        assert (np.abs(estimates - 15.0) > 2.0).mean() > 0.2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValidationError):
+            StatisticalErrorModel(outlier_probability=1.5)
+        with pytest.raises(ValidationError):
+            StatisticalErrorModel(detect_50_m=-1.0)
+
+
+class TestStatisticalCampaign:
+    def test_produces_measurement_set(self, grid):
+        ms = statistical_campaign(grid, rounds=2, rng=0)
+        assert len(ms) > 0
+        rounds = {m.round_index for m in ms}
+        assert rounds <= {0, 1}
+
+    def test_invalid_rounds(self, grid):
+        with pytest.raises(ValidationError):
+            statistical_campaign(grid, rounds=0)
+
+    def test_error_shape_matches_signal_level_service(self, grid):
+        """Calibration check: the statistical abstraction's core error
+        spread matches the signal-level simulator's (same order)."""
+        from repro.acoustics import get_environment
+        from repro.ranging.link import LinkRealization
+        from repro.ranging.service import RangingService
+
+        service = RangingService(environment=get_environment("grass")).calibrate(rng=0)
+        rng = np.random.default_rng(3)
+        link = LinkRealization()
+        signal_errors = []
+        for _ in range(60):
+            est = service.measure(8.0, link=link, rng=rng)
+            if est is not None:
+                signal_errors.append(est - 8.0)
+        model = StatisticalErrorModel()
+        model_errors = []
+        for _ in range(200):
+            est = model.sample(8.0, rng)
+            if est is not None:
+                model_errors.append(est - 8.0)
+        sig_core = np.percentile(np.abs(signal_errors), 75)
+        mod_core = np.percentile(np.abs(model_errors), 75)
+        assert mod_core < 5 * max(sig_core, 0.02)
+        assert sig_core < 5 * max(mod_core, 0.02)
+
+
+@given(sigma=st.floats(0.0, 2.0), seed=st.integers(0, 500))
+@settings(max_examples=30, deadline=None)
+def test_gaussian_ranges_never_negative(sigma, seed):
+    grid = square_grid(2, 2, spacing_m=3.0)
+    ms = gaussian_ranges(grid, max_range_m=10.0, sigma_m=sigma, rng=seed)
+    assert all(m.distance >= 0 for m in ms)

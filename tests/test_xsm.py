@@ -1,0 +1,89 @@
+"""Tests for the XSM software-tone-detector ranging path."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics import get_environment
+from repro.ranging import TdoaConfig, XsmRangingService
+
+
+@pytest.fixture(scope="module")
+def service():
+    return XsmRangingService(
+        environment=get_environment("grass"), tdoa=TdoaConfig(max_range_m=25.0)
+    )
+
+
+class TestWaveformSimulation:
+    def test_buffer_length(self, service):
+        wave = service.simulate_waveform(5.0, rng=0)
+        assert wave.shape[0] == service.tdoa.buffer_length
+
+    def test_signal_energy_at_arrival(self, service):
+        wave = service.simulate_waveform(8.0, rng=0)
+        start = service.tdoa.index_from_distance(8.0)
+        length = int(service.chirp_duration_s * service.tdoa.sampling_rate_hz)
+        signal_power = np.mean(wave[start : start + length] ** 2)
+        noise_power = np.mean(wave[: start - 50] ** 2)
+        assert signal_power > 2 * noise_power
+
+    def test_attenuated_link_weaker(self, service):
+        strong = service.simulate_waveform(8.0, link_gain_db=0.0, rng=0)
+        weak = service.simulate_waveform(8.0, link_gain_db=-20.0, rng=0)
+        start = service.tdoa.index_from_distance(8.0)
+        s_power = np.mean(strong[start : start + 100] ** 2)
+        w_power = np.mean(weak[start : start + 100] ** 2)
+        assert s_power > w_power
+
+    def test_negative_distance_rejected(self, service):
+        with pytest.raises(Exception):
+            service.simulate_waveform(-1.0)
+
+
+class TestMeasurement:
+    def test_accurate_at_short_range(self, service):
+        rng = np.random.default_rng(1)
+        estimates = [service.measure(6.0, rng=rng) for _ in range(15)]
+        ok = [e for e in estimates if e is not None]
+        assert len(ok) >= 13
+        assert np.median(np.abs(np.array(ok) - 6.0)) < 0.6
+
+    def test_no_detection_far_out(self, service):
+        rng = np.random.default_rng(2)
+        results = [service.measure(24.0, rng=rng) for _ in range(10)]
+        correct = [r for r in results if r is not None and abs(r - 24.0) < 3.0]
+        assert len(correct) == 0
+
+    def test_detection_probability_monotone_trend(self, service):
+        rng = np.random.default_rng(3)
+        near = service.detection_probability(6.0, attempts=15, draw_link_gain=False, rng=rng)
+        far = service.detection_probability(20.0, attempts=15, draw_link_gain=False, rng=rng)
+        assert near > far
+
+    def test_invalid_tone_fraction(self):
+        with pytest.raises(ValueError):
+            XsmRangingService(
+                environment=get_environment("grass"), tone_fraction=0.3
+            )
+
+
+class TestResourceAccounting:
+    def test_software_buffer_larger(self, service):
+        software = service.buffer_bytes(bits_per_sample=8)
+        hardware = XsmRangingService.hardware_buffer_bytes(
+            service.tdoa.buffer_length
+        )
+        assert software == 2 * hardware  # 8-bit samples vs 4-bit counters
+
+    def test_paper_2kb_claim_orders(self):
+        # ~20 m at 16 kHz with 1-byte samples is about 2 kB.
+        service = XsmRangingService(
+            environment=get_environment("grass"), tdoa=TdoaConfig(max_range_m=20.0)
+        )
+        assert 1000 <= service.buffer_bytes(bits_per_sample=8) <= 3000
+
+    def test_invalid_bits(self, service):
+        with pytest.raises(ValueError):
+            service.buffer_bytes(bits_per_sample=0)
+        with pytest.raises(ValueError):
+            XsmRangingService.hardware_buffer_bytes(-1)
