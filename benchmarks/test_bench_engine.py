@@ -1,0 +1,122 @@
+"""Benchmarks the batched engine against the scalar reference path.
+
+The acceptance bar for the engine refactor: ``localize_network`` on the
+Fig. 16 extended-network configuration must run at least 5x faster
+through the batched solver than through the per-node scalar path, while
+producing the same result.  Run with ``pytest
+benchmarks/test_bench_engine.py -s`` to see the measured ratio.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro._validation import ensure_rng
+from repro.core import localize_network
+from repro.deploy import random_anchors
+from repro.experiments import DEFAULT_SEED
+from repro.experiments.localization_experiments import _grid_setup
+from repro.ranging import augment_with_gaussian_ranges
+
+SPEEDUP_FLOOR = 5.0
+
+#: Wall-clock ratio assertions need a machine that isn't fighting other
+#: tenants; on shared CI runners the measured ratio is noise-bound.
+quiet_machine_only = pytest.mark.skipif(
+    bool(os.environ.get("CI")),
+    reason="wall-clock speedup assertions are unreliable on shared CI runners",
+)
+
+
+@pytest.fixture(scope="module")
+def fig16_problem():
+    """The Fig. 16 extended-network configuration at the default seed."""
+    positions, _, edges = _grid_setup(DEFAULT_SEED)
+    rng = ensure_rng(DEFAULT_SEED)
+    n = len(positions)
+    anchor_idx = random_anchors(n, 13, rng=rng)
+    anchors = {int(i): positions[i] for i in anchor_idx}
+    extended = augment_with_gaussian_ranges(
+        edges, positions, max_range_m=22.0, sigma_m=0.33, rng=rng
+    )
+    return extended, anchors, n
+
+
+def _best_of(fn, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@quiet_machine_only
+def test_engine_speedup_on_fig16(fig16_problem):
+    measurements, anchors, n = fig16_problem
+
+    def batched():
+        return localize_network(measurements, anchors, n)
+
+    def scalar():
+        return localize_network(measurements, anchors, n, solver="scalar")
+
+    # Parity first: the speedup claim is meaningless if results differ.
+    b = batched()
+    s = scalar()
+    assert np.array_equal(b.localized, s.localized)
+    mask = b.localized & ~b.is_anchor
+    np.testing.assert_allclose(b.positions[mask], s.positions[mask], atol=1e-5)
+
+    batched_t = _best_of(batched)
+    scalar_t = _best_of(scalar)
+    ratio = scalar_t / batched_t
+    print(
+        f"\nfig16 localize_network: scalar {scalar_t * 1000:.1f} ms, "
+        f"batched {batched_t * 1000:.1f} ms -> {ratio:.1f}x"
+    )
+    assert ratio >= SPEEDUP_FLOOR, (
+        f"batched engine only {ratio:.2f}x faster than scalar "
+        f"(need >= {SPEEDUP_FLOOR}x)"
+    )
+
+
+def test_batched_localize_network_speed(fig16_problem, benchmark):
+    """pytest-benchmark row for the engine path (regression tracking)."""
+    measurements, anchors, n = fig16_problem
+    result = benchmark(localize_network, measurements, anchors, n)
+    assert result.localized.any()
+
+
+@quiet_machine_only
+def test_multistart_lss_faster_than_sequential():
+    """Stacked multi-seed LSS beats an equivalent sequential loop."""
+    from repro.core import LssConfig, lss_localize
+    from repro.deploy import square_grid
+    from repro.engine import lss_localize_multistart
+    from repro.ranging import gaussian_ranges
+
+    positions = square_grid(5, 5, spacing_m=10.0)
+    n = len(positions)
+    ranges = gaussian_ranges(positions, max_range_m=16.0, sigma_m=0.33, rng=1)
+    config = LssConfig(min_spacing_m=10.0, restarts=2, max_epochs=400)
+    seeds = [10, 11, 12, 13]
+
+    stacked_t = _best_of(
+        lambda: lss_localize_multistart(ranges, n, config=config, seeds=seeds),
+        repeats=3,
+    )
+    sequential_t = _best_of(
+        lambda: [lss_localize(ranges, n, config=config, rng=s) for s in seeds],
+        repeats=3,
+    )
+    ratio = sequential_t / stacked_t
+    print(
+        f"\n4-seed LSS: sequential {sequential_t * 1000:.0f} ms, "
+        f"stacked {stacked_t * 1000:.0f} ms -> {ratio:.1f}x"
+    )
+    # Lockstep batching must at least clearly beat the loop; the exact
+    # factor depends on how unevenly the seeds' rounds terminate.
+    assert ratio >= 1.3

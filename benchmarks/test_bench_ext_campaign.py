@@ -1,0 +1,12 @@
+"""Benchmarks the seeded Monte-Carlo campaign experiment.
+
+A campaign of randomized multilateration trials through the batched
+engine, with bit-reproducible aggregates from the master seed.
+
+Run with ``pytest benchmarks/test_bench_ext_campaign.py --benchmark-only -s``
+to see the aggregate table.
+"""
+
+
+def test_ext_campaign_statistics(run_figure):
+    run_figure("ext-campaign")

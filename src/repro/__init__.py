@@ -35,11 +35,15 @@ Subpackages
     Clocks, radio, discrete-event simulator, flooding.
 ``repro.deploy``
     Deployment and anchor-selection generators.
+``repro.engine``
+    Vectorized batch solvers and the seeded Monte-Carlo campaign
+    runner (the scaling substrate; see its module docstring for the
+    batching layout and the scalar/batched parity contract).
 ``repro.experiments``
     One driver per paper figure (used by benchmarks and examples).
 """
 
-from . import acoustics, core, deploy, network, ranging
+from . import acoustics, core, deploy, engine, network, ranging
 from .errors import (
     CalibrationError,
     ConvergenceError,
@@ -70,6 +74,7 @@ __all__ = [
     "acoustics",
     "core",
     "deploy",
+    "engine",
     "network",
     "ranging",
     "ReproError",

@@ -85,7 +85,17 @@ def _aps_localize(
     min_anchors: int,
     solver: str,
 ) -> NetworkLocalization:
-    """Common multilateration stage over anchor-distance estimates."""
+    """Common multilateration stage over anchor-distance estimates.
+
+    ``solver="gradient"`` stacks every node's anchor-distance problem
+    into one masked batch and solves it through the engine; ``"scalar"``
+    (per-node gradient descent) and ``"lm"`` (per-node scipy LM) are
+    the per-node reference paths.
+    """
+    if solver not in ("gradient", "scalar", "lm"):
+        raise ValidationError(f"unknown solver {solver!r}")
+    if min_anchors < 3:
+        raise ValidationError("min_anchors must be >= 3 for planar localization")
     anchor_ids = sorted(anchors)
     anchor_xy = np.asarray([anchors[a] for a in anchor_ids])
     positions = np.full((n_nodes, 2), np.nan)
@@ -94,25 +104,56 @@ def _aps_localize(
     for a in anchor_ids:
         positions[a] = anchors[a]
         is_anchor[a] = True
-    for node in range(n_nodes):
-        if is_anchor[node]:
-            continue
-        dists = distances_to_anchors[node]
-        usable = np.isfinite(dists)
-        anchors_per_node[node] = usable.sum()
-        if usable.sum() < min_anchors:
-            continue
-        try:
-            result = multilaterate(
-                anchor_xy[usable],
-                dists[usable],
-                consistency_check=False,
-                solver=solver,
+    if solver == "gradient":
+        from ..engine.batch import solve_multilateration_batch
+
+        prob_nodes = []
+        anchor_sets = []
+        dist_sets = []
+        for node in range(n_nodes):
+            if is_anchor[node]:
+                continue
+            dists = distances_to_anchors[node]
+            usable = np.isfinite(dists)
+            anchors_per_node[node] = usable.sum()
+            if usable.sum() < min_anchors:
+                continue
+            prob_nodes.append(node)
+            anchor_sets.append(anchor_xy[usable])
+            dist_sets.append(dists[usable])
+        if prob_nodes:
+            weight_sets = [np.ones(d.shape[0]) for d in dist_sets]
+            solved_pos, solved, _ = solve_multilateration_batch(
+                anchor_sets,
+                dist_sets,
+                weight_sets,
                 min_anchors=min_anchors,
+                consistency_check=False,
             )
-        except InsufficientDataError:
-            continue
-        positions[node] = result.position
+            for node, pos, ok in zip(prob_nodes, solved_pos, solved):
+                if ok:
+                    positions[node] = pos
+    else:
+        per_node_solver = "gradient" if solver == "scalar" else solver
+        for node in range(n_nodes):
+            if is_anchor[node]:
+                continue
+            dists = distances_to_anchors[node]
+            usable = np.isfinite(dists)
+            anchors_per_node[node] = usable.sum()
+            if usable.sum() < min_anchors:
+                continue
+            try:
+                result = multilaterate(
+                    anchor_xy[usable],
+                    dists[usable],
+                    consistency_check=False,
+                    solver=per_node_solver,
+                    min_anchors=min_anchors,
+                )
+            except InsufficientDataError:
+                continue
+            positions[node] = result.position
     localized = np.all(np.isfinite(positions), axis=1)
     return NetworkLocalization(
         positions=positions,
@@ -141,9 +182,12 @@ def dv_hop_localize(
         Node id -> known (x, y); at least three anchors.
     n_nodes : int
         Total node count.
-    solver : {"lm", "gradient"}
+    solver : {"lm", "gradient", "scalar"}
         Multilateration backend (Levenberg-Marquardt default — DV-hop's
         coarse distances benefit from the more robust solver).
+        ``"gradient"`` batches every node's problem through the engine
+        in one masked-array solve; ``"scalar"`` is its per-node
+        reference path.
     """
     edges = _edges_of(measurements, n_nodes)
     anchors = _check_anchors(anchor_positions, n_nodes)

@@ -78,9 +78,13 @@ class LssConfig:
     init_span_m : float or None
         Random initial positions are drawn uniformly in a square of
         this side; ``None`` derives it from the measured distances.
-    backend : {"gd", "lbfgs"}
-        ``"gd"`` is the paper's gradient descent; ``"lbfgs"`` is a
-        scipy cross-check backend used by the ablation benchmarks.
+    backend : {"gd", "gd-scalar", "lbfgs"}
+        ``"gd"`` is the paper's gradient descent, executed through the
+        batched engine kernel (:func:`repro.engine.batch.batch_lss_descend`
+        with a batch of one); ``"gd-scalar"`` is the pre-engine scalar
+        implementation, kept as the reference path for the
+        batched/scalar parity tests; ``"lbfgs"`` is a scipy cross-check
+        backend used by the ablation benchmarks.
     """
 
     min_spacing_m: Optional[float] = None
@@ -106,8 +110,8 @@ class LssConfig:
         check_non_negative(self.tolerance, "tolerance")
         if self.init_span_m is not None:
             check_positive(self.init_span_m, "init_span_m")
-        if self.backend not in ("gd", "lbfgs"):
-            raise ValidationError("backend must be 'gd' or 'lbfgs'")
+        if self.backend not in ("gd", "gd-scalar", "lbfgs"):
+            raise ValidationError("backend must be 'gd', 'gd-scalar' or 'lbfgs'")
 
 
 @dataclass
@@ -252,7 +256,45 @@ def _descend(
     trace: List[float],
     free_mask: np.ndarray,
 ) -> Tuple[np.ndarray, float, bool]:
-    """One gradient-descent round from *pts*; returns (best, error, converged)."""
+    """One gradient-descent round through the engine's batched kernel.
+
+    Runs :func:`repro.engine.batch.batch_lss_descend` with a batch of
+    one — the same code path multi-seed campaigns batch over — so a
+    single-configuration round and a stacked round follow identical
+    per-configuration trajectories.
+    """
+    from ..engine.batch import batch_lss_descend
+
+    traces: List[List[float]] = [trace]
+    out, errors, converged = batch_lss_descend(
+        pts[None, :, :],
+        edges,
+        constraint_pairs,
+        min_spacing_m=config.min_spacing_m,
+        constraint_weight=config.constraint_weight,
+        step_size=config.step_size,
+        max_epochs=config.max_epochs,
+        tolerance=config.tolerance,
+        free_mask=free_mask,
+        traces=traces,
+    )
+    return out[0], float(errors[0]), bool(converged[0])
+
+
+def _descend_scalar(
+    pts: np.ndarray,
+    edges: EdgeList,
+    constraint_pairs: Optional[np.ndarray],
+    config: LssConfig,
+    trace: List[float],
+    free_mask: np.ndarray,
+) -> Tuple[np.ndarray, float, bool]:
+    """One gradient-descent round from *pts*; returns (best, error, converged).
+
+    The pre-engine scalar implementation, kept verbatim as the
+    reference path for the batched/scalar parity contract
+    (``backend="gd-scalar"``).
+    """
     kwargs = dict(
         constraint_pairs=constraint_pairs,
         min_spacing_m=config.min_spacing_m,
@@ -398,7 +440,12 @@ def lss_localize(
     for node_id, arr in pins.items():
         pts[node_id] = arr
 
-    descend = _descend if config.backend == "gd" else _lbfgs_round
+    if config.backend == "gd":
+        descend = _descend
+    elif config.backend == "gd-scalar":
+        descend = _descend_scalar
+    else:
+        descend = _lbfgs_round
 
     kwargs = dict(
         constraint_pairs=constraint_pairs,

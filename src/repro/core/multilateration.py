@@ -15,7 +15,10 @@ with inconsistent range circles.
 Network-level drivers localize every non-anchor that has enough anchor
 measurements, with an optional *progressive* mode in which localized
 nodes are promoted to anchors for the remaining nodes (Section 4.1.1's
-proposed modification).
+proposed modification).  By default :func:`localize_network` solves all
+of a round's nodes in one stacked masked-array descent through
+:mod:`repro.engine.batch`; the per-node seed implementation remains
+available as the ``solver="scalar"`` reference path.
 """
 
 from __future__ import annotations
@@ -189,8 +192,12 @@ def multilaterate(
         anchor centroid.
     consistency_check : bool
         Apply the intersection consistency filter first.
-    solver : {"gradient", "lm"}
+    solver : {"gradient", "scalar", "lm"}
         ``"gradient"`` is the paper's gradient descent (default);
+        ``"scalar"`` is accepted as an alias for it (matching the
+        network-level solver names, where "gradient" selects the
+        batched engine and "scalar" the per-node reference —
+        a single-node call is the scalar reference by construction);
         ``"lm"`` uses scipy's Levenberg-Marquardt for cross-checking.
     min_anchors : int
         Minimum surviving anchors required (3 for an unambiguous planar
@@ -248,7 +255,7 @@ def multilaterate(
         if start.shape != (2,):
             raise ValidationError("initial must have shape (2,)")
 
-    if solver == "gradient":
+    if solver in ("gradient", "scalar"):
         position, residual = _gradient_descent_solve(
             sel_anchors, sel_dists, sel_weights, start
         )
@@ -331,6 +338,20 @@ def localize_network(
         Promote localized nodes to anchors and iterate (Section 4.1.1's
         progressive localization).  The paper's reported experiments
         keep this off.
+    solver : {"gradient", "scalar", "lm"}
+        ``"gradient"`` (default) solves every node of a refinement
+        round in one batched masked-array step through
+        :mod:`repro.engine.batch`; ``"scalar"`` is the per-node
+        reference path (the seed implementation, kept for the
+        batched/scalar parity contract); ``"lm"`` solves per node with
+        scipy's Levenberg-Marquardt.  In progressive mode the batched
+        engine promotes a whole round's solutions at once (Jacobi
+        sweeps), while the scalar path promotes within the round
+        (Gauss-Seidel); a promotion chain therefore needs one round per
+        link under the engine, so with a tight *max_progressive_rounds*
+        budget (or near-degenerate geometry, where slightly different
+        intermediate estimates flip a collinearity or consistency
+        verdict) the two paths' coverage can differ at the margin.
     """
     if isinstance(measurements, MeasurementSet):
         edges = measurements.to_edge_list()
@@ -343,6 +364,10 @@ def localize_network(
         )
     if n_nodes < 1:
         raise ValidationError("n_nodes must be >= 1")
+    if solver not in ("gradient", "scalar", "lm"):
+        raise ValidationError(f"unknown solver {solver!r}")
+    if min_anchors < 3:
+        raise ValidationError("min_anchors must be >= 3 for planar localization")
     for node_id in anchor_positions:
         if not 0 <= int(node_id) < n_nodes:
             raise ValidationError(f"anchor id {node_id} outside [0, {n_nodes})")
@@ -368,36 +393,79 @@ def localize_network(
     rounds = max_progressive_rounds if progressive else 1
     for _ in range(rounds):
         progress = False
-        for node in range(n_nodes):
-            if node in known:
-                continue
-            anchor_links = [
-                (partner, d, w)
-                for partner, d, w in adjacency[node]
-                if partner in known
-            ]
-            anchors_per_node[node] = len(anchor_links)
-            if len(anchor_links) < min_anchors:
-                continue
-            anchor_xy = np.asarray([known[p] for p, _, _ in anchor_links])
-            dists = np.asarray([d for _, d, _ in anchor_links])
-            weights = np.asarray([w for _, _, w in anchor_links])
-            try:
-                result = multilaterate(
-                    anchor_xy,
-                    dists,
-                    weights=weights,
+        if solver == "gradient":
+            # Batched engine path: gather every pending node's anchor
+            # problem, solve the whole refinement round in one stacked
+            # masked-array descent, then promote (progressive) en bloc.
+            from ..engine.batch import solve_multilateration_batch
+
+            prob_nodes: List[int] = []
+            anchor_sets: List[np.ndarray] = []
+            dist_sets: List[np.ndarray] = []
+            weight_sets: List[np.ndarray] = []
+            for node in range(n_nodes):
+                if node in known:
+                    continue
+                anchor_links = [
+                    (partner, d, w)
+                    for partner, d, w in adjacency[node]
+                    if partner in known
+                ]
+                anchors_per_node[node] = len(anchor_links)
+                if len(anchor_links) < min_anchors:
+                    continue
+                prob_nodes.append(node)
+                anchor_sets.append(np.asarray([known[p] for p, _, _ in anchor_links]))
+                dist_sets.append(np.asarray([d for _, d, _ in anchor_links]))
+                weight_sets.append(np.asarray([w for _, _, w in anchor_links]))
+            if prob_nodes:
+                solved_pos, solved, _ = solve_multilateration_batch(
+                    anchor_sets,
+                    dist_sets,
+                    weight_sets,
+                    min_anchors=min_anchors,
                     consistency_check=consistency_check,
                     cluster_radius_m=cluster_radius_m,
-                    solver=solver,
-                    min_anchors=min_anchors,
                 )
-            except InsufficientDataError:
-                continue
-            positions[node] = result.position
-            if progressive:
-                known[node] = result.position
-                progress = True
+                for node, pos, ok in zip(prob_nodes, solved_pos, solved):
+                    if not ok:
+                        continue
+                    positions[node] = pos
+                    if progressive:
+                        known[node] = pos
+                        progress = True
+        else:
+            per_node_solver = "gradient" if solver == "scalar" else solver
+            for node in range(n_nodes):
+                if node in known:
+                    continue
+                anchor_links = [
+                    (partner, d, w)
+                    for partner, d, w in adjacency[node]
+                    if partner in known
+                ]
+                anchors_per_node[node] = len(anchor_links)
+                if len(anchor_links) < min_anchors:
+                    continue
+                anchor_xy = np.asarray([known[p] for p, _, _ in anchor_links])
+                dists = np.asarray([d for _, d, _ in anchor_links])
+                weights = np.asarray([w for _, _, w in anchor_links])
+                try:
+                    result = multilaterate(
+                        anchor_xy,
+                        dists,
+                        weights=weights,
+                        consistency_check=consistency_check,
+                        cluster_radius_m=cluster_radius_m,
+                        solver=per_node_solver,
+                        min_anchors=min_anchors,
+                    )
+                except InsufficientDataError:
+                    continue
+                positions[node] = result.position
+                if progressive:
+                    known[node] = result.position
+                    progress = True
         if not progressive or not progress:
             break
         # Re-count anchors for still-unlocalized nodes next round.

@@ -1,0 +1,72 @@
+"""repro.engine — the vectorized batch execution layer.
+
+The paper's headline results are statistics over many randomized
+localization trials, but the reference solvers in :mod:`repro.core`
+work one node (multilateration) or one configuration (LSS) at a time.
+This subsystem provides the batched substrate those campaigns run on:
+
+:mod:`repro.engine.batch`
+    Stacked NumPy solvers.  Multilateration problems for a whole
+    refinement round are packed into padded ``(n_problems, max_anchors,
+    2)`` arrays with a validity mask and minimized in one vectorized
+    adaptive-gradient-descent loop; LSS objective/gradient/descent
+    kernels operate on ``(n_configs, n_nodes, 2)`` stacked
+    configurations, so independent restarts or seeds advance in
+    lockstep.
+:mod:`repro.engine.campaign`
+    A seeded Monte-Carlo campaign runner: independent trials fan out
+    across ``multiprocessing`` workers, each trial drawing its own
+    :class:`numpy.random.Generator` from a ``SeedSequence`` child of the
+    master seed, and per-metric statistics are aggregated in trial
+    order so results are reproducible bit-for-bit regardless of worker
+    count.
+:mod:`repro.engine.trials`
+    Ready-made, picklable trial functions (multilateration, LSS, APS)
+    for campaigns.
+
+Batching layout
+---------------
+A batch of ``B`` multilateration problems with at most ``K`` anchors
+each is four arrays: ``anchors (B, K, 2)``, ``distances (B, K)``,
+``weights (B, K)`` and a boolean ``valid (B, K)`` mask.  Padded slots
+carry zero weight, so they contribute exactly ``0.0`` to every
+objective, gradient, and centroid computation — the padded problem is
+numerically identical to the unpadded one.  Solved problems are
+compacted out of the working arrays, so stragglers near the iteration
+cap do not drag the whole batch's per-iteration cost with them.
+
+Scalar/batched parity contract
+------------------------------
+For every batched kernel the per-problem update rule, acceptance test,
+and termination condition are *the same operations in the same order*
+as the scalar reference path (``repro.core.multilateration`` with
+``solver="scalar"``; ``repro.core.lss`` with ``backend="gd-scalar"``).
+Batched and scalar runs from the same seed must therefore agree to
+floating-point reduction tolerance; ``tests/test_engine_batch.py``
+enforces this on fixed-seed grid, random, and sparse networks.  The
+scalar paths stay in the tree precisely to keep that contract testable.
+"""
+
+from .batch import (
+    batch_gradient_descent,
+    batch_lss_descend,
+    batch_lss_error,
+    batch_lss_gradient,
+    consistency_filter_fast,
+    lss_localize_multistart,
+    solve_multilateration_batch,
+)
+from .campaign import CampaignResult, TrialRecord, run_monte_carlo
+
+__all__ = [
+    "batch_gradient_descent",
+    "batch_lss_descend",
+    "batch_lss_error",
+    "batch_lss_gradient",
+    "consistency_filter_fast",
+    "lss_localize_multistart",
+    "solve_multilateration_batch",
+    "CampaignResult",
+    "TrialRecord",
+    "run_monte_carlo",
+]

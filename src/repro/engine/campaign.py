@@ -1,0 +1,192 @@
+"""Seeded Monte-Carlo campaign runner.
+
+The paper's evaluation style — and the ROADMAP's heavy-traffic goal —
+is statistics over many independent randomized trials: re-randomize the
+deployment, the noise draws, and the anchor choice; run the localizer;
+aggregate the error metrics.  :func:`run_monte_carlo` is the engine for
+that shape of workload:
+
+* **Seeding.**  One master seed spawns a ``numpy.random.SeedSequence``
+  child per trial, so every trial owns a statistically independent
+  stream and the whole campaign is reproducible from a single integer.
+* **Fan-out.**  Trials are embarrassingly parallel; with
+  ``n_workers > 1`` they are dispatched to a ``multiprocessing`` pool.
+  Because each trial's randomness is a function of the master seed and
+  its trial index alone — never of scheduling — aggregate statistics
+  are bit-for-bit identical for any worker count
+  (``tests/test_engine_campaign.py`` pins this).
+* **Aggregation.**  Trial metrics are collected in trial order into
+  per-metric arrays with mean/median/std/min/max summaries.
+
+Trial functions must be module-level callables (picklable for the
+pool) with signature ``trial_fn(rng, **trial_kwargs) -> Mapping[str,
+float]``; :mod:`repro.engine.trials` ships ready-made ones.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = ["TrialRecord", "CampaignResult", "run_monte_carlo"]
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """Outcome of one Monte-Carlo trial.
+
+    Attributes
+    ----------
+    index : int
+        Trial index in ``[0, n_trials)``; also selects the trial's
+        ``SeedSequence`` child.
+    metrics : dict
+        Metric name -> value as returned by the trial function.
+    """
+
+    index: int
+    metrics: Dict[str, float]
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """All trial records of one campaign, with aggregation helpers."""
+
+    master_seed: int
+    records: Tuple[TrialRecord, ...]
+
+    @property
+    def n_trials(self) -> int:
+        return len(self.records)
+
+    @property
+    def metric_names(self) -> Tuple[str, ...]:
+        names = set()
+        for record in self.records:
+            names.update(record.metrics)
+        return tuple(sorted(names))
+
+    def metric(self, name: str) -> np.ndarray:
+        """Per-trial values of one metric, in trial order.
+
+        Trials that did not report the metric contribute nan.
+        """
+        return np.asarray(
+            [record.metrics.get(name, float("nan")) for record in self.records],
+            dtype=float,
+        )
+
+    def aggregate(self) -> Dict[str, Dict[str, float]]:
+        """Mean/median/std/min/max per metric over finite trial values.
+
+        Each entry also reports ``n`` — how many trials produced a
+        finite value (e.g. trials where nothing localized yield nan
+        errors and are excluded from the error statistics but still
+        counted in ``n_trials``).
+        """
+        out: Dict[str, Dict[str, float]] = {}
+        for name in self.metric_names:
+            values = self.metric(name)
+            finite = values[np.isfinite(values)]
+            if finite.size == 0:
+                out[name] = {
+                    "n": 0.0,
+                    "mean": float("nan"),
+                    "median": float("nan"),
+                    "std": float("nan"),
+                    "min": float("nan"),
+                    "max": float("nan"),
+                }
+                continue
+            out[name] = {
+                "n": float(finite.size),
+                "mean": float(finite.mean()),
+                "median": float(np.median(finite)),
+                "std": float(finite.std()),
+                "min": float(finite.min()),
+                "max": float(finite.max()),
+            }
+        return out
+
+    def summary(self) -> str:
+        """Human-readable aggregate table."""
+        lines = [f"campaign: {self.n_trials} trials, master_seed={self.master_seed}"]
+        for name, stats in sorted(self.aggregate().items()):
+            lines.append(
+                f"  {name:<32s} mean={stats['mean']:.4f} median={stats['median']:.4f} "
+                f"std={stats['std']:.4f} n={stats['n']:.0f}"
+            )
+        return "\n".join(lines)
+
+
+def _execute_trial(payload) -> TrialRecord:
+    """Run one trial from its (fn, index, seed-sequence, kwargs) payload.
+
+    Module-level so the payload round-trips through a multiprocessing
+    pool regardless of start method.
+    """
+    trial_fn, index, seed_seq, kwargs = payload
+    rng = np.random.default_rng(seed_seq)
+    metrics = trial_fn(rng, **kwargs)
+    if not isinstance(metrics, Mapping):
+        raise ValidationError(
+            f"trial function must return a mapping of metrics; got {type(metrics)!r}"
+        )
+    return TrialRecord(
+        index=index, metrics={str(k): float(v) for k, v in metrics.items()}
+    )
+
+
+def run_monte_carlo(
+    trial_fn: Callable[..., Mapping[str, float]],
+    n_trials: int,
+    *,
+    master_seed: int = 0,
+    n_workers: int = 1,
+    trial_kwargs: Optional[Mapping[str, object]] = None,
+    mp_context: Optional[str] = None,
+) -> CampaignResult:
+    """Run *n_trials* independent seeded trials, optionally in parallel.
+
+    Parameters
+    ----------
+    trial_fn : callable
+        ``trial_fn(rng, **trial_kwargs) -> Mapping[str, float]``; must
+        be picklable (a module-level function) when ``n_workers > 1``.
+        All randomness inside the trial must come from *rng*.
+    n_trials : int
+        Number of independent trials.
+    master_seed : int
+        Root of the ``SeedSequence`` tree; trial ``i`` always receives
+        child ``i`` regardless of worker count or scheduling.
+    n_workers : int
+        1 runs inline (no pool); more fans trials out over a
+        ``multiprocessing`` pool.
+    mp_context : str, optional
+        Start method ("fork", "spawn", "forkserver"); defaults to
+        "fork" where available (cheap on Linux), else "spawn".
+    """
+    if n_trials < 1:
+        raise ValidationError("n_trials must be >= 1")
+    if n_workers < 1:
+        raise ValidationError("n_workers must be >= 1")
+    kwargs = dict(trial_kwargs or {})
+    children = np.random.SeedSequence(master_seed).spawn(n_trials)
+    payloads = [(trial_fn, i, children[i], kwargs) for i in range(n_trials)]
+
+    if n_workers == 1:
+        records = [_execute_trial(payload) for payload in payloads]
+    else:
+        if mp_context is None:
+            methods = multiprocessing.get_all_start_methods()
+            mp_context = "fork" if "fork" in methods else "spawn"
+        ctx = multiprocessing.get_context(mp_context)
+        chunksize = max(1, n_trials // (4 * n_workers))
+        with ctx.Pool(processes=n_workers) as pool:
+            records = pool.map(_execute_trial, payloads, chunksize=chunksize)
+    return CampaignResult(master_seed=int(master_seed), records=tuple(records))

@@ -1,0 +1,152 @@
+"""Ready-made Monte-Carlo trial functions for the campaign runner.
+
+Each function is a module-level callable (picklable, so it fans out
+across :mod:`multiprocessing` workers) with the campaign contract
+``trial_fn(rng, **kwargs) -> Dict[str, float]``: it draws a fresh
+randomized deployment, noise realization, and anchor set from *rng*,
+runs one localization pipeline through the batched engine, and returns
+scalar metrics for aggregation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..core import LssConfig, evaluate_localization, localize_network, lss_localize
+from ..core.aps import dv_hop_localize
+from ..deploy import random_anchors, uniform_random_layout
+from ..ranging import gaussian_ranges
+
+__all__ = ["multilateration_trial", "lss_trial", "dv_hop_trial"]
+
+
+def _fraction(numerator, denominator) -> float:
+    """Safe coverage ratio: nan when the trial has no non-anchor nodes,
+    so a degenerate draw yields nan metrics (excluded from aggregates)
+    instead of crashing the campaign."""
+    denominator = float(denominator)
+    if denominator == 0.0:
+        return float("nan")
+    return float(numerator) / denominator
+
+
+def _network_draw(
+    rng,
+    n_nodes: int,
+    width_m: float,
+    height_m: float,
+    min_separation_m: float,
+    max_range_m: float,
+    sigma_m: float,
+):
+    positions = uniform_random_layout(
+        n_nodes,
+        width_m=width_m,
+        height_m=height_m,
+        min_separation_m=min_separation_m,
+        rng=rng,
+    )
+    ranges = gaussian_ranges(
+        positions, max_range_m=max_range_m, sigma_m=sigma_m, rng=rng
+    )
+    return positions, ranges
+
+
+def multilateration_trial(
+    rng,
+    *,
+    n_nodes: int = 36,
+    n_anchors: int = 10,
+    width_m: float = 60.0,
+    height_m: float = 60.0,
+    min_separation_m: float = 4.0,
+    max_range_m: float = 22.0,
+    sigma_m: float = 0.33,
+    solver: str = "gradient",
+) -> Dict[str, float]:
+    """One randomized multilateration trial (Fig. 20's shape).
+
+    Draws a uniform random deployment with noisy synthetic ranges,
+    localizes through :func:`repro.core.localize_network`, and reports
+    coverage and error statistics over the localized non-anchors.
+    """
+    positions, ranges = _network_draw(
+        rng, n_nodes, width_m, height_m, min_separation_m, max_range_m, sigma_m
+    )
+    anchor_idx = random_anchors(n_nodes, n_anchors, rng=rng)
+    anchor_positions = {int(i): positions[i] for i in anchor_idx}
+    result = localize_network(ranges, anchor_positions, n_nodes, solver=solver)
+    non_anchor = ~result.is_anchor
+    localized = result.localized & non_anchor
+    report = evaluate_localization(result.positions[localized], positions[localized])
+    return {
+        "fraction_localized": _fraction(localized.sum(), non_anchor.sum()),
+        "mean_error_m": report.average_error,
+        "median_error_m": report.median_error,
+        "average_anchors_per_node": result.average_anchors_per_node,
+    }
+
+
+def lss_trial(
+    rng,
+    *,
+    n_nodes: int = 25,
+    width_m: float = 50.0,
+    height_m: float = 50.0,
+    min_separation_m: float = 6.0,
+    max_range_m: float = 22.0,
+    sigma_m: float = 0.33,
+    min_spacing_m: float = 6.0,
+    restarts: int = 4,
+    max_epochs: int = 800,
+) -> Dict[str, float]:
+    """One randomized anchor-free LSS trial (Fig. 21's shape).
+
+    Runs constrained centralized LSS on a random deployment and reports
+    aligned error statistics plus minimization cost.
+    """
+    positions, ranges = _network_draw(
+        rng, n_nodes, width_m, height_m, min_separation_m, max_range_m, sigma_m
+    )
+    config = LssConfig(
+        min_spacing_m=min_spacing_m, restarts=restarts, max_epochs=max_epochs
+    )
+    result = lss_localize(ranges, n_nodes, config=config, rng=rng)
+    report = evaluate_localization(result.positions, positions, align=True)
+    return {
+        "mean_error_m": report.average_error,
+        "median_error_m": report.median_error,
+        "final_objective": result.error,
+        "epochs_run": float(result.epochs_run),
+    }
+
+
+def dv_hop_trial(
+    rng,
+    *,
+    n_nodes: int = 36,
+    n_anchors: int = 8,
+    width_m: float = 60.0,
+    height_m: float = 60.0,
+    min_separation_m: float = 4.0,
+    max_range_m: float = 14.0,
+    sigma_m: float = 0.33,
+    solver: str = "lm",
+) -> Dict[str, float]:
+    """One randomized DV-hop baseline trial (Section 2's APS family)."""
+    positions, ranges = _network_draw(
+        rng, n_nodes, width_m, height_m, min_separation_m, max_range_m, sigma_m
+    )
+    anchor_idx = random_anchors(n_nodes, n_anchors, rng=rng)
+    anchor_positions = {int(i): positions[i] for i in anchor_idx}
+    result = dv_hop_localize(ranges, anchor_positions, n_nodes, solver=solver)
+    non_anchor = ~result.is_anchor
+    localized = result.localized & non_anchor
+    report = evaluate_localization(result.positions[localized], positions[localized])
+    return {
+        "fraction_localized": _fraction(localized.sum(), non_anchor.sum()),
+        "mean_error_m": report.average_error,
+        "median_error_m": report.median_error,
+    }

@@ -13,6 +13,7 @@ from .report import render_markdown, render_text, summary_counts
 from .common import DEFAULT_SEED
 from .extension_experiments import (
     ext_aps_baselines,
+    ext_campaign_statistics,
     ext_protocol_cost,
     ext_scaling,
     ext_xsm_software_detector,
@@ -92,4 +93,5 @@ __all__ = [
     "ext_protocol_cost",
     "ext_scaling",
     "ext_aps_baselines",
+    "ext_campaign_statistics",
 ]

@@ -399,8 +399,12 @@ def _town_lss_impl(seed: int, constrained: bool, *, attempts: int, restarts: int
     best configuration *by objective value* (no ground truth involved).
     We run `attempts` independent seeds and keep the lowest-objective
     run; this is where the soft constraint earns its keep — without it,
-    a low stress value does not indicate a correct configuration.
+    a low stress value does not indicate a correct configuration.  The
+    independent attempts advance in vectorized lockstep through the
+    engine's multistart driver (one stacked descent per restart round).
     """
+    from ..engine import lss_localize_multistart
+
     positions, _, ranges = _town_setup(seed)
     n = len(positions)
     config = LssConfig(
@@ -409,11 +413,10 @@ def _town_lss_impl(seed: int, constrained: bool, *, attempts: int, restarts: int
         restarts=restarts,
         perturbation_m=8.0,
     )
-    best = None
-    for offset in range(attempts):
-        result = lss_localize(ranges, n, config=config, rng=seed + offset)
-        if best is None or result.error < best.error:
-            best = result
+    results = lss_localize_multistart(
+        ranges, n, config=config, seeds=[seed + offset for offset in range(attempts)]
+    )
+    best = min(results, key=lambda result: result.error)
     report = evaluate_localization(best.positions, positions, align=True)
     return positions, best, report
 

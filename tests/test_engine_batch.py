@@ -1,0 +1,293 @@
+"""Seeded equivalence tests: batched engine vs scalar reference paths.
+
+The engine's parity contract (see ``repro/engine/__init__.py``) says a
+batched solve and the scalar reference solve of the same problem follow
+identical per-problem update rules, so their results may differ only by
+floating-point reduction error.  These tests pin that contract on
+fixed-seed networks across grid, random, and sparse layouts for
+multilateration (``localize_network``), LSS (``lss_localize`` /
+``lss_localize_multistart``), and the APS baselines.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import LssConfig, dv_distance_localize, dv_hop_localize, localize_network, lss_localize
+from repro.core.multilateration import intersection_consistency_filter
+from repro.deploy import random_anchors, square_grid, uniform_random_layout
+from repro.engine.batch import (
+    batch_gradient_descent,
+    batch_lss_error,
+    batch_lss_gradient,
+    consistency_filter_fast,
+    lss_localize_multistart,
+    solve_multilateration_batch,
+)
+from repro.errors import ValidationError
+from repro.ranging import gaussian_ranges
+
+
+def _layout(kind: str, rng):
+    """Fixed-seed network layouts spanning the paper's regimes."""
+    if kind == "grid":
+        positions = square_grid(6, 6, spacing_m=10.0)
+        max_range = 16.0
+    elif kind == "random":
+        positions = uniform_random_layout(
+            32, width_m=60.0, height_m=60.0, min_separation_m=4.0, rng=rng
+        )
+        max_range = 22.0
+    elif kind == "sparse":
+        positions = uniform_random_layout(
+            30, width_m=70.0, height_m=70.0, min_separation_m=5.0, rng=rng
+        )
+        max_range = 15.0
+    else:  # pragma: no cover - test-internal
+        raise AssertionError(kind)
+    ranges = gaussian_ranges(positions, max_range_m=max_range, sigma_m=0.33, rng=rng)
+    return positions, ranges
+
+
+LAYOUTS = ["grid", "random", "sparse"]
+
+
+class TestLocalizeNetworkParity:
+    @pytest.mark.parametrize("layout", LAYOUTS)
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_batched_matches_scalar(self, layout, seed):
+        rng = np.random.default_rng(seed)
+        positions, ranges = _layout(layout, rng)
+        n = len(positions)
+        anchor_idx = random_anchors(n, max(3, n // 4), rng=rng)
+        anchors = {int(i): positions[i] for i in anchor_idx}
+        batched = localize_network(ranges, anchors, n)
+        scalar = localize_network(ranges, anchors, n, solver="scalar")
+        assert np.array_equal(batched.localized, scalar.localized)
+        assert np.array_equal(batched.anchors_per_node, scalar.anchors_per_node)
+        mask = batched.localized & ~batched.is_anchor
+        assert batched.positions[mask] == pytest.approx(
+            scalar.positions[mask], abs=1e-5
+        )
+
+    @pytest.mark.parametrize("layout", LAYOUTS)
+    def test_progressive_coverage_matches_scalar(self, layout):
+        # Jacobi (batched, round-wise) vs Gauss-Seidel (scalar, in-round)
+        # promotion: intermediate estimates legitimately differ, but both
+        # must extend the plain coverage and land on (nearly) the same
+        # localized set within the round budget.
+        rng = np.random.default_rng(3)
+        positions, ranges = _layout(layout, rng)
+        n = len(positions)
+        anchor_idx = random_anchors(n, 5, rng=rng)
+        anchors = {int(i): positions[i] for i in anchor_idx}
+        plain = localize_network(ranges, anchors, n)
+        batched = localize_network(ranges, anchors, n, progressive=True)
+        scalar = localize_network(ranges, anchors, n, progressive=True, solver="scalar")
+        assert np.all(batched.localized[plain.localized])
+        assert np.all(scalar.localized[plain.localized])
+        assert int((batched.localized != scalar.localized).sum()) <= 2
+
+    def test_unknown_solver_rejected(self):
+        rng = np.random.default_rng(0)
+        positions, ranges = _layout("grid", rng)
+        with pytest.raises(ValidationError):
+            localize_network(ranges, {0: positions[0]}, len(positions), solver="sgd")
+
+    @pytest.mark.parametrize("solver", ["gradient", "scalar", "lm"])
+    def test_min_anchors_below_three_rejected(self, solver):
+        # The batched path must enforce the same planar-solvability
+        # floor as the scalar path (a 2-anchor fix is ambiguous).
+        rng = np.random.default_rng(0)
+        positions, ranges = _layout("grid", rng)
+        with pytest.raises(ValidationError):
+            localize_network(
+                ranges, {0: positions[0]}, len(positions),
+                solver=solver, min_anchors=2,
+            )
+
+
+class TestBatchKernelParity:
+    def test_batch_descent_matches_scalar_solver(self):
+        from repro.core.multilateration import _gradient_descent_solve
+
+        rng = np.random.default_rng(5)
+        n_problems, max_k = 12, 7
+        anchor_counts = rng.integers(3, max_k + 1, size=n_problems)
+        anchors = np.zeros((n_problems, max_k, 2))
+        dists = np.zeros((n_problems, max_k))
+        weights = np.zeros((n_problems, max_k))
+        valid = np.zeros((n_problems, max_k), dtype=bool)
+        initial = np.zeros((n_problems, 2))
+        expected = []
+        for b in range(n_problems):
+            k = int(anchor_counts[b])
+            a = rng.uniform(0, 40, (k, 2))
+            target = rng.uniform(5, 35, 2)
+            d = np.hypot(*(a - target).T) + rng.normal(0, 0.2, k)
+            d = np.abs(d)
+            w = rng.uniform(0.5, 1.5, k)
+            start = a.mean(axis=0)
+            anchors[b, :k] = a
+            dists[b, :k] = d
+            weights[b, :k] = w
+            valid[b, :k] = True
+            initial[b] = start
+            expected.append(_gradient_descent_solve(a, d, w, start))
+        pos, res = batch_gradient_descent(anchors, dists, weights, valid, initial)
+        for b in range(n_problems):
+            assert pos[b] == pytest.approx(expected[b][0], abs=1e-6)
+            assert res[b] == pytest.approx(expected[b][1], rel=1e-6, abs=1e-9)
+
+    def test_solve_batch_flags_degenerate_problems(self):
+        line = np.array([[0.0, 0.0], [10.0, 0.0], [20.0, 0.0]])
+        good = np.array([[0.0, 0.0], [20.0, 0.0], [0.0, 20.0], [20.0, 20.0]])
+        target = np.array([7.0, 11.0])
+        good_d = np.hypot(*(good - target).T)
+        pos, solved, res = solve_multilateration_batch(
+            [line, good],
+            [np.array([5.0, 5.0, 15.0]), good_d],
+            [np.ones(3), np.ones(4)],
+            consistency_check=False,
+        )
+        assert not solved[0] and np.isnan(pos[0]).all()
+        assert solved[1] and pos[1] == pytest.approx(target, abs=1e-4)
+        assert np.isfinite(res[1])
+
+
+class TestConsistencyFilterParity:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_fast_filter_matches_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        k = int(rng.integers(3, 8))
+        anchors = rng.uniform(0, 30, (k, 2))
+        target = rng.uniform(5, 25, 2)
+        dists = np.hypot(*(anchors - target).T) + rng.normal(0, 0.3, k)
+        dists = np.abs(dists)
+        if rng.random() < 0.5:
+            dists[int(rng.integers(k))] *= 1.5  # plant an outlier range
+        reference = intersection_consistency_filter(anchors, dists)
+        fast = consistency_filter_fast(anchors, dists)
+        assert list(fast) == list(reference)
+
+
+class TestLssParity:
+    @pytest.mark.parametrize("layout", LAYOUTS)
+    def test_gd_backend_matches_gd_scalar(self, layout):
+        rng = np.random.default_rng(2)
+        positions, ranges = _layout(layout, rng)
+        n = len(positions)
+        batched_cfg = LssConfig(min_spacing_m=8.0, restarts=2, max_epochs=400)
+        scalar_cfg = LssConfig(
+            min_spacing_m=8.0, restarts=2, max_epochs=400, backend="gd-scalar"
+        )
+        batched = lss_localize(ranges, n, config=batched_cfg, rng=11)
+        scalar = lss_localize(ranges, n, config=scalar_cfg, rng=11)
+        assert batched.error == pytest.approx(scalar.error, rel=1e-9)
+        assert batched.positions == pytest.approx(scalar.positions, abs=1e-7)
+        assert batched.epochs_run == scalar.epochs_run
+        assert np.asarray(batched.error_trace) == pytest.approx(
+            np.asarray(scalar.error_trace), rel=1e-9
+        )
+
+    def test_batch_objective_and_gradient_match_scalar(self):
+        from repro.core.lss import _constraint_pairs, lss_error, lss_gradient
+
+        rng = np.random.default_rng(9)
+        positions, ranges = _layout("random", rng)
+        n = len(positions)
+        edges = ranges.to_edge_list()
+        pairs = _constraint_pairs(n, edges.pairs)
+        configs = rng.uniform(0, 60, (4, n, 2))
+        errors = batch_lss_error(
+            configs, edges, constraint_pairs=pairs, min_spacing_m=6.0
+        )
+        grads = batch_lss_gradient(
+            configs, edges, constraint_pairs=pairs, min_spacing_m=6.0
+        )
+        for b in range(4):
+            assert errors[b] == pytest.approx(
+                lss_error(configs[b], edges, constraint_pairs=pairs, min_spacing_m=6.0),
+                rel=1e-12,
+            )
+            assert grads[b] == pytest.approx(
+                lss_gradient(
+                    configs[b], edges, constraint_pairs=pairs, min_spacing_m=6.0
+                ),
+                rel=1e-9,
+                abs=1e-9,
+            )
+
+    def test_multistart_matches_sequential_runs(self):
+        rng = np.random.default_rng(4)
+        positions, ranges = _layout("grid", rng)
+        n = len(positions)
+        config = LssConfig(min_spacing_m=8.0, restarts=3, max_epochs=300)
+        seeds = [21, 22, 23]
+        stacked = lss_localize_multistart(ranges, n, config=config, seeds=seeds)
+        for result, seed in zip(stacked, seeds):
+            reference = lss_localize(ranges, n, config=config, rng=seed)
+            assert result.error == pytest.approx(reference.error, rel=1e-9)
+            assert result.positions == pytest.approx(reference.positions, abs=1e-6)
+            assert result.round_boundaries == reference.round_boundaries
+            assert result.epochs_run == reference.epochs_run
+
+    def test_multistart_validates_inputs(self):
+        rng = np.random.default_rng(4)
+        positions, ranges = _layout("grid", rng)
+        n = len(positions)
+        with pytest.raises(ValidationError):
+            lss_localize_multistart(ranges, n, seeds=[])
+        with pytest.raises(ValidationError):
+            lss_localize_multistart(
+                ranges, n, config=LssConfig(backend="lbfgs"), seeds=[1]
+            )
+
+    def test_multistart_respects_pins(self):
+        rng = np.random.default_rng(4)
+        positions, ranges = _layout("grid", rng)
+        n = len(positions)
+        config = LssConfig(min_spacing_m=8.0, restarts=2, max_epochs=200)
+        fixed = {0: positions[0], 1: positions[1]}
+        results = lss_localize_multistart(
+            ranges, n, config=config, seeds=[5, 6], fixed_positions=fixed
+        )
+        for result in results:
+            assert np.allclose(result.positions[0], positions[0])
+            assert np.allclose(result.positions[1], positions[1])
+
+
+class TestApsParity:
+    @pytest.mark.parametrize("localizer", [dv_hop_localize, dv_distance_localize])
+    @pytest.mark.parametrize("layout", ["grid", "random"])
+    def test_batched_gradient_matches_scalar(self, localizer, layout):
+        rng = np.random.default_rng(13)
+        positions, ranges = _layout(layout, rng)
+        n = len(positions)
+        anchor_idx = random_anchors(n, 6, rng=rng)
+        anchors = {int(i): positions[i] for i in anchor_idx}
+        batched = localizer(ranges, anchors, n, solver="gradient")
+        scalar = localizer(ranges, anchors, n, solver="scalar")
+        assert np.array_equal(batched.localized, scalar.localized)
+        assert np.array_equal(batched.anchors_per_node, scalar.anchors_per_node)
+        mask = batched.localized & ~batched.is_anchor
+        assert batched.positions[mask] == pytest.approx(
+            scalar.positions[mask], abs=1e-5
+        )
+
+    def test_unknown_solver_rejected(self):
+        rng = np.random.default_rng(13)
+        positions, ranges = _layout("grid", rng)
+        n = len(positions)
+        anchor_idx = random_anchors(n, 6, rng=rng)
+        anchors = {int(i): positions[i] for i in anchor_idx}
+        with pytest.raises(ValidationError):
+            dv_hop_localize(ranges, anchors, n, solver="sgd")
+
+    def test_min_anchors_below_three_rejected(self):
+        rng = np.random.default_rng(13)
+        positions, ranges = _layout("grid", rng)
+        n = len(positions)
+        anchor_idx = random_anchors(n, 6, rng=rng)
+        anchors = {int(i): positions[i] for i in anchor_idx}
+        with pytest.raises(ValidationError):
+            dv_hop_localize(ranges, anchors, n, min_anchors=2)

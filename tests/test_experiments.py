@@ -30,7 +30,7 @@ def test_registry_covers_all_figures():
         "fig12", "fig14", "fig16", "fig18", "fig19", "fig20", "fig21",
         "fig22", "fig23", "fig24", "fig25",
         "text-range", "text-sync", "text-chirp",
-        "ext-xsm", "ext-protocol", "ext-scaling", "ext-aps",
+        "ext-xsm", "ext-protocol", "ext-scaling", "ext-aps", "ext-campaign",
     }
     assert set(EXPERIMENT_IDS) == expected
 

@@ -12,7 +12,7 @@ class TestTopLevelApi:
         assert repro.__version__ == "1.0.0"
 
     def test_subpackages_exposed(self):
-        for name in ("acoustics", "core", "deploy", "network", "ranging"):
+        for name in ("acoustics", "core", "deploy", "engine", "network", "ranging"):
             assert hasattr(repro, name)
 
     def test_convenience_reexports(self):
@@ -47,6 +47,7 @@ class TestTopLevelApi:
         "repro.network",
         "repro.ranging",
         "repro.deploy",
+        "repro.engine",
         "repro.experiments",
     ],
 )
