@@ -7,9 +7,25 @@ prints the paper-vs-measured rows (visible with ``pytest benchmarks/
 asserts the experiment's qualitative shape checks.
 """
 
+import os
+
 import pytest
 
 from repro.experiments import DEFAULT_SEED, get_experiment
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_result_store(tmp_path_factory):
+    """Benchmarks must measure real simulation work, never a warm hit
+    from the user's persistent store (see tests/conftest.py)."""
+    root = tmp_path_factory.mktemp("repro-store")
+    saved = os.environ.get("REPRO_STORE_DIR")
+    os.environ["REPRO_STORE_DIR"] = str(root)
+    yield
+    if saved is None:
+        os.environ.pop("REPRO_STORE_DIR", None)
+    else:
+        os.environ["REPRO_STORE_DIR"] = saved
 
 
 @pytest.fixture

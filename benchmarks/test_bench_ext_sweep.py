@@ -1,0 +1,11 @@
+"""Regenerates the scenario-sweep extension table.
+
+A density x noise x anchor-fraction sweep through the adaptive campaign
+scheduler: dense cells stop early on the confidence-interval criterion
+and their committed records are a bit-identical prefix of the same-seed
+fixed-count campaign.
+"""
+
+
+def test_ext_sweep(run_figure):
+    run_figure("ext-sweep")

@@ -39,11 +39,18 @@ Subpackages
     Vectorized batch solvers and the seeded Monte-Carlo campaign
     runner (the scaling substrate; see its module docstring for the
     batching layout and the scalar/batched parity contract).
+``repro.scenarios``
+    Declarative workload layer: frozen scenario specs with canonical
+    content hashing, a named registry, parameter-sweep expansion, and
+    the store-backed campaign runner.
+``repro.store``
+    Content-addressed on-disk result cache (spec hash + code version ->
+    compressed trial records), with atomic writes and hit/miss stats.
 ``repro.experiments``
     One driver per paper figure (used by benchmarks and examples).
 """
 
-from . import acoustics, core, deploy, engine, network, ranging
+from . import acoustics, core, deploy, engine, network, ranging, scenarios, store
 from .errors import (
     CalibrationError,
     ConvergenceError,
@@ -67,8 +74,13 @@ from .core import (
     multilaterate,
 )
 from .ranging import RangingService, gaussian_ranges, run_campaign
+from .scenarios import ScenarioSpec, get_scenario, run_scenario
+from .store import ResultStore
 
-__version__ = "1.0.0"
+#: Participates in every result-store key (see
+#: :func:`repro.store.default_code_version`): bumping it invalidates all
+#: cached simulation results.
+__version__ = "1.1.0"
 
 __all__ = [
     "acoustics",
@@ -77,6 +89,8 @@ __all__ = [
     "engine",
     "network",
     "ranging",
+    "scenarios",
+    "store",
     "ReproError",
     "ValidationError",
     "ConvergenceError",
@@ -96,5 +110,9 @@ __all__ = [
     "RangingService",
     "gaussian_ranges",
     "run_campaign",
+    "ScenarioSpec",
+    "get_scenario",
+    "run_scenario",
+    "ResultStore",
     "__version__",
 ]

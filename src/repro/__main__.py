@@ -1,0 +1,161 @@
+"""Command-line entry point: ``python -m repro``.
+
+Subcommands
+-----------
+``list``
+    Registered experiment drivers and scenario specs.
+``run <id>``
+    Run one experiment (paper figure / extension claim) or one scenario
+    campaign by id.  Scenario runs honor ``--workers``, the result store
+    (``--store DIR`` / ``--no-store`` / ``--no-cache``), and optional
+    adaptive early stopping (``--adaptive``).
+
+Examples::
+
+    python -m repro list
+    python -m repro run fig18 --seed 7
+    python -m repro run town-multilateration --workers 4 --trials 32
+    python -m repro run uniform-multilateration --adaptive --tolerance 0.1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from .engine.scheduler import ConfidenceStop, ScheduledCampaignResult
+from .experiments import all_experiments, get_experiment
+from .scenarios import all_scenarios, get_scenario, run_scenario
+from .store import ResultStore, default_store_root
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Kwon et al. (ICDCS 2005) reproduction: experiments, "
+        "scenario campaigns, and the content-addressed result store.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments and scenarios")
+
+    run = sub.add_parser("run", help="run an experiment or scenario by id")
+    run.add_argument("id", help="experiment id (fig18, ext-sweep, ...) or scenario id")
+    run.add_argument("--seed", type=int, default=None, help="master seed")
+    run.add_argument(
+        "--workers", type=int, default=1, help="worker processes (scenarios only)"
+    )
+    run.add_argument(
+        "--trials", type=int, default=None, help="trial budget override (scenarios only)"
+    )
+    run.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="result store directory (default: $REPRO_STORE_DIR or ~/.cache/repro/store)",
+    )
+    run.add_argument(
+        "--no-store", action="store_true", help="disable the result store entirely"
+    )
+    run.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip cache lookups (recompute and republish)",
+    )
+    run.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="run the scenario through the early-stopping scheduler",
+    )
+    run.add_argument(
+        "--metric",
+        default="mean_error_m",
+        help="target metric for --adaptive (default: mean_error_m)",
+    )
+    run.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.1,
+        help="CI half-width tolerance for --adaptive (default: 0.1)",
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    experiments = all_experiments()
+    scenarios = all_scenarios()
+    print(f"experiments ({len(experiments)}):")
+    for experiment_id in sorted(experiments):
+        doc = (experiments[experiment_id].__doc__ or "").strip().splitlines()
+        print(f"  {experiment_id:<28s} {doc[0] if doc else ''}")
+    print(f"\nscenarios ({len(scenarios)}):")
+    for scenario_id in sorted(scenarios):
+        spec = scenarios[scenario_id]
+        print(
+            f"  {scenario_id:<28s} {spec.solver.algorithm}, "
+            f"{spec.deployment.kind} n={spec.deployment.n_nodes}, "
+            f"{spec.ranging.model} ranging, {spec.n_trials} trials "
+            f"[{spec.spec_hash()[:12]}]"
+        )
+    return 0
+
+
+def _open_store(args) -> Optional[ResultStore]:
+    if args.no_store:
+        return None
+    if args.store is not None:
+        return ResultStore(args.store)
+    root = default_store_root()
+    return None if root is None else ResultStore(root)
+
+
+def _cmd_run(args) -> int:
+    experiments = all_experiments()
+    scenarios = all_scenarios()
+    if args.id in experiments:
+        from .experiments import DEFAULT_SEED
+
+        seed = DEFAULT_SEED if args.seed is None else args.seed
+        result = get_experiment(args.id)(seed)
+        print(result.summary())
+        return 0 if result.passed else 1
+    if args.id in scenarios:
+        spec = get_scenario(args.id)
+        store = _open_store(args)
+        stopping = None
+        if args.adaptive:
+            stopping = ConfidenceStop(metric=args.metric, tolerance=args.tolerance)
+        result = run_scenario(
+            spec,
+            master_seed=0 if args.seed is None else args.seed,
+            n_trials=args.trials,
+            n_workers=args.workers,
+            stopping=stopping,
+            store=store,
+            use_cache=not args.no_cache,
+        )
+        print(f"scenario: {spec.scenario_id} [{spec.spec_hash()[:12]}]")
+        print(result.summary())
+        if isinstance(result, ScheduledCampaignResult):
+            print(f"scheduler: {result.stop_reason}")
+        if store is not None:
+            print(f"store: {store.root} {store.stats.as_dict()}")
+        return 0
+    print(
+        f"unknown id {args.id!r}; run `python -m repro list` for "
+        f"{len(experiments)} experiments and {len(scenarios)} scenarios",
+        file=sys.stderr,
+    )
+    return 2
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    return _cmd_run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

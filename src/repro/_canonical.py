@@ -1,0 +1,28 @@
+"""Canonical JSON rendering and hashing shared by specs and the store.
+
+Both the scenario layer (:mod:`repro.scenarios`) and the content-
+addressed result store (:mod:`repro.store`) need the same guarantee: a
+nested dict of plain values always renders to the *same* byte string, on
+any platform, in any process.  ``json.dumps`` with sorted keys and no
+whitespace provides it — Python renders floats with ``repr`` (the
+shortest string that round-trips), so equal floats serialize
+identically and deserialize bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+__all__ = ["canonical_json", "sha256_hex"]
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, native floats."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), allow_nan=True)
+
+
+def sha256_hex(text: str) -> str:
+    """SHA-256 hex digest of *text* (UTF-8)."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

@@ -23,6 +23,12 @@ This subsystem provides the batched substrate those campaigns run on:
 :mod:`repro.engine.trials`
     Ready-made, picklable trial functions (multilateration, LSS, APS)
     for campaigns.
+:mod:`repro.engine.scheduler`
+    The adaptive sibling of the campaign runner: trial chunks stream
+    through the pool and the campaign stops early once a
+    confidence-interval criterion on the target metric is met, while
+    committed records remain a bit-identical prefix of the same-seed
+    fixed-count campaign.
 
 Batching layout
 ---------------
@@ -57,6 +63,12 @@ from .batch import (
     solve_multilateration_batch,
 )
 from .campaign import CampaignResult, TrialRecord, run_monte_carlo
+from .scheduler import (
+    ConfidenceStop,
+    ScheduledCampaignResult,
+    resolve_chunk_size,
+    run_adaptive,
+)
 
 __all__ = [
     "batch_gradient_descent",
@@ -69,4 +81,8 @@ __all__ = [
     "CampaignResult",
     "TrialRecord",
     "run_monte_carlo",
+    "ConfidenceStop",
+    "ScheduledCampaignResult",
+    "resolve_chunk_size",
+    "run_adaptive",
 ]

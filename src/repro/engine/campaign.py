@@ -82,20 +82,26 @@ class CampaignResult:
         )
 
     def aggregate(self) -> Dict[str, Dict[str, float]]:
-        """Mean/median/std/min/max per metric over finite trial values.
+        """NaN-safe mean/median/std/min/max per metric.
 
-        Each entry also reports ``n`` — how many trials produced a
-        finite value (e.g. trials where nothing localized yield nan
-        errors and are excluded from the error statistics but still
-        counted in ``n_trials``).
+        Degenerate trials (nothing localized, all-anchor draws, missing
+        metrics) legitimately report nan; those values must not poison
+        the campaign statistics, so every summary is computed over the
+        *finite* trial values only.  Each entry reports both ``n`` (how
+        many trials produced a finite value) and ``n_nan`` (how many
+        were non-finite or missing) — together they always sum to
+        ``n_trials``, so degraded campaigns are visible rather than
+        silently averaged away.
         """
         out: Dict[str, Dict[str, float]] = {}
         for name in self.metric_names:
             values = self.metric(name)
             finite = values[np.isfinite(values)]
+            n_nan = float(values.size - finite.size)
             if finite.size == 0:
                 out[name] = {
                     "n": 0.0,
+                    "n_nan": n_nan,
                     "mean": float("nan"),
                     "median": float("nan"),
                     "std": float("nan"),
@@ -105,6 +111,7 @@ class CampaignResult:
                 continue
             out[name] = {
                 "n": float(finite.size),
+                "n_nan": n_nan,
                 "mean": float(finite.mean()),
                 "median": float(np.median(finite)),
                 "std": float(finite.std()),
@@ -117,9 +124,10 @@ class CampaignResult:
         """Human-readable aggregate table."""
         lines = [f"campaign: {self.n_trials} trials, master_seed={self.master_seed}"]
         for name, stats in sorted(self.aggregate().items()):
+            nan_note = f" nan={stats['n_nan']:.0f}" if stats["n_nan"] else ""
             lines.append(
                 f"  {name:<32s} mean={stats['mean']:.4f} median={stats['median']:.4f} "
-                f"std={stats['std']:.4f} n={stats['n']:.0f}"
+                f"std={stats['std']:.4f} n={stats['n']:.0f}{nan_note}"
             )
         return "\n".join(lines)
 

@@ -16,6 +16,7 @@ from .extension_experiments import (
     ext_campaign_statistics,
     ext_protocol_cost,
     ext_scaling,
+    ext_sweep,
     ext_xsm_software_detector,
 )
 from .localization_experiments import (
@@ -94,4 +95,5 @@ __all__ = [
     "ext_scaling",
     "ext_aps_baselines",
     "ext_campaign_statistics",
+    "ext_sweep",
 ]

@@ -12,8 +12,14 @@ ext-scaling  — the motivation for the distributed variant (Section
                neighborhood-sized.
 ext-campaign — the paper's evaluation style as a first-class workload:
                a seeded Monte-Carlo campaign of randomized
-               multilateration trials through the batched engine, with
-               reproducible aggregate statistics.
+               multilateration trials through the scenario layer and the
+               content-addressed result store, with reproducible
+               aggregate statistics.
+ext-sweep    — a density x noise x anchor-fraction scenario sweep run
+               through the adaptive campaign scheduler: well-behaved
+               cells stop early on a confidence-interval criterion and
+               their records are a bit-identical prefix of the
+               fixed-count campaign.
 """
 
 from __future__ import annotations
@@ -328,43 +334,47 @@ def ext_aps_baselines(seed: int = DEFAULT_SEED) -> ExperimentResult:
 
 
 @register("ext-campaign")
-def ext_campaign_statistics(seed: int = DEFAULT_SEED) -> ExperimentResult:
+def ext_campaign_statistics(seed: int = DEFAULT_SEED, store=None) -> ExperimentResult:
     """Monte-Carlo error statistics over randomized deployments.
 
     The paper reports single-campaign numbers; its qualitative claims
     (multilateration localizes accurately where enough anchors are in
     range) are really statements about the *distribution* over
-    deployments and noise draws.  This driver runs a seeded campaign of
-    independent randomized multilateration trials through the batched
-    engine and checks the aggregate statistics are in the single-trial
-    band — and exactly reproducible from the master seed.
+    deployments and noise draws.  This driver runs the registered
+    "uniform-multilateration" scenario through the store-backed campaign
+    runner and checks the aggregate statistics are in the single-trial
+    band — and exactly reproducible: the second run either replays the
+    seed tree (no store) or reconstructs the campaign bit-identically
+    from the content-addressed cache (with a store, doing zero
+    simulation work — ``tests/test_scenarios.py`` pins that path).
     """
-    from ..engine import run_monte_carlo
-    from ..engine.trials import multilateration_trial
+    from ..scenarios import get_scenario, run_scenario
+    from ..store import aggregates_equal, records_equal
 
-    n_trials = 12
-    result = run_monte_carlo(
-        multilateration_trial, n_trials, master_seed=seed, n_workers=1
-    )
-    rerun = run_monte_carlo(
-        multilateration_trial, n_trials, master_seed=seed, n_workers=1
-    )
+    spec = get_scenario("uniform-multilateration")
+    result = run_scenario(spec, master_seed=seed, store=store)
+    rerun = run_scenario(spec, master_seed=seed, store=store)
     agg = result.aggregate()
     mean_err = agg["mean_error_m"]["mean"]
     frac = agg["fraction_localized"]["mean"]
-    reproducible = agg == rerun.aggregate()
+    reproducible = aggregates_equal(result, rerun) and records_equal(result, rerun)
+
+    measured = {
+        "n_trials": float(result.n_trials),
+        "mean_error_m": mean_err,
+        "median_error_m": agg["median_error_m"]["median"],
+        "fraction_localized": frac,
+        "trials_with_finite_error": agg["mean_error_m"]["n"],
+    }
+    if store is not None:
+        measured["store_hits"] = float(store.stats.hits)
+        measured["store_misses"] = float(store.stats.misses)
 
     return ExperimentResult(
         experiment_id="ext-campaign",
         title="Seeded Monte-Carlo campaign of randomized multilateration trials",
         paper={"localized_nodes_are_accurate": "yes"},
-        measured={
-            "n_trials": float(result.n_trials),
-            "mean_error_m": mean_err,
-            "median_error_m": agg["median_error_m"]["median"],
-            "fraction_localized": frac,
-            "trials_with_finite_error": agg["mean_error_m"]["n"],
-        },
+        measured=measured,
         checks=[
             ShapeCheck(
                 "every trial localized a usable subset",
@@ -382,5 +392,127 @@ def ext_campaign_statistics(seed: int = DEFAULT_SEED) -> ExperimentResult:
                 "",
             ),
         ],
-        extras={"campaign": result},
+        extras={"campaign": result, "spec": spec},
+    )
+
+
+@register("ext-sweep")
+def ext_sweep(seed: int = DEFAULT_SEED, store=None) -> ExperimentResult:
+    """Density x noise x anchor-fraction sweep through the scheduler.
+
+    The ROADMAP's "as many scenarios as you can imagine" workload: one
+    base scenario expanded over three axes (network density, ranging
+    noise, anchor fraction) and every cell run through the adaptive
+    campaign scheduler.  Well-behaved (dense) cells converge — 95% CI of
+    the mean per-trial median localization error within a 20% relative
+    half-width — long before the trial budget, while sparse cells (whose
+    error distribution is heavy-tailed) run to the cap; the committed
+    records of an early-stopped cell are a bit-identical prefix of the
+    same-seed fixed-count campaign, which this driver verifies directly
+    on the earliest-stopping cell.
+    """
+    from ..engine import CampaignResult, ConfidenceStop
+    from ..scenarios import (
+        AnchorSpec,
+        DeploymentSpec,
+        RangingSpec,
+        ScenarioSpec,
+        SolverSpec,
+        run_scenario,
+    )
+
+    base = ScenarioSpec(
+        scenario_id="ext-sweep",
+        deployment=DeploymentSpec(
+            kind="uniform", n_nodes=24, width_m=50.0, height_m=50.0, min_separation_m=4.0
+        ),
+        anchors=AnchorSpec(strategy="random", fraction=0.25),
+        ranging=RangingSpec(model="gaussian", max_range_m=20.0, sigma_m=0.33),
+        solver=SolverSpec(algorithm="multilateration"),
+        n_trials=40,
+    )
+    specs = base.grid(
+        {
+            "deployment.n_nodes": [16, 32],
+            "ranging.sigma_m": [0.1, 0.6],
+            "anchors.fraction": [0.25, 0.4],
+        }
+    )
+    stopping = ConfidenceStop(
+        metric="median_error_m", tolerance=0.2, relative=True, min_trials=8
+    )
+    results = {
+        spec.scenario_id: run_scenario(
+            spec, master_seed=seed, stopping=stopping, store=store
+        )
+        for spec in specs
+    }
+    converged = {sid: r for sid, r in results.items() if r.converged}
+    trials_run = sum(r.n_trials for r in results.values())
+    budget = sum(spec.n_trials for spec in specs)
+
+    # Prefix contract, verified end to end on the earliest-stopping cell:
+    # rerun it as a fixed-count campaign and compare records/aggregates.
+    prefix_ok = False
+    if converged:
+        earliest_id = min(converged, key=lambda sid: converged[sid].n_trials)
+        early = converged[earliest_id]
+        early_spec = next(s for s in specs if s.scenario_id == earliest_id)
+        full = run_scenario(early_spec, master_seed=seed, store=store)
+        from ..store import aggregates_equal, records_equal
+
+        prefix = CampaignResult(
+            master_seed=full.master_seed, records=full.records[: early.n_trials]
+        )
+        prefix_ok = records_equal(early, prefix) and aggregates_equal(early, prefix)
+
+    # Qualitative shape: more noise -> more campaign-mean error, pooled
+    # over the other two axes.
+    def _pooled_mean_error(sigma: float) -> float:
+        values = [
+            r.aggregate()["mean_error_m"]["mean"]
+            for sid, r in results.items()
+            if f"ranging.sigma_m={sigma:g}" in sid
+        ]
+        return float(np.mean(values))
+
+    low_noise = _pooled_mean_error(0.1)
+    high_noise = _pooled_mean_error(0.6)
+
+    measured = {
+        "n_scenarios": float(len(specs)),
+        "n_converged_early": float(
+            sum(1 for r in converged.values() if r.trials_saved > 0)
+        ),
+        "trials_run": float(trials_run),
+        "trial_budget": float(budget),
+        "trials_saved_by_early_stopping": float(budget - trials_run),
+        "pooled_error_low_noise_m": low_noise,
+        "pooled_error_high_noise_m": high_noise,
+    }
+    return ExperimentResult(
+        experiment_id="ext-sweep",
+        title="Scenario sweep (density x noise x anchors) with early stopping",
+        paper={"evaluation_is_statistics_over_randomized_trials": "yes"},
+        measured=measured,
+        checks=[
+            ShapeCheck(
+                "at least one sweep cell stops early",
+                any(r.trials_saved > 0 for r in converged.values()),
+                f"{measured['n_converged_early']:.0f}/{len(specs)} cells, "
+                f"{budget - trials_run} trials saved",
+            ),
+            ShapeCheck(
+                "early-stopped records are a bit-identical prefix of the "
+                "fixed-count campaign",
+                prefix_ok,
+                "",
+            ),
+            ShapeCheck(
+                "campaign-mean error grows with ranging noise",
+                high_noise > low_noise,
+                f"{low_noise:.2f} -> {high_noise:.2f} m",
+            ),
+        ],
+        extras={"results": results, "specs": specs},
     )

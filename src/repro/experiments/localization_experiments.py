@@ -33,8 +33,8 @@ from ..core import (
     trimmed_mean_error,
 )
 from ..core.measurements import MeasurementSet
-from ..deploy import parking_lot_layout, random_anchors, spread_anchors, town_layout
-from ..ranging import augment_with_gaussian_ranges, gaussian_ranges
+from ..deploy import parking_lot_layout, random_anchors, spread_anchors
+from ..ranging import augment_with_gaussian_ranges
 from .base import ExperimentResult, ShapeCheck, register
 from .common import DEFAULT_SEED, grass_campaign_edges, grid_positions, root_near
 
@@ -332,10 +332,22 @@ def fig19_lss_unconstrained(seed: int = DEFAULT_SEED) -> ExperimentResult:
 
 
 def _town_setup(seed: int):
+    """One draw of the registered "town-multilateration" scenario.
+
+    The scenario spec is the single source of truth for the town
+    geometry and noise model; fig20-fig23 sample one deployment from it
+    (the paper's single reported campaign), while Monte-Carlo sweeps run
+    the same spec through :func:`repro.scenarios.run_scenario`.  The
+    draw order (deployment, anchors, ranges) matches the historical
+    driver, so seeded results are unchanged.
+    """
+    from ..scenarios import draw_deployment, draw_ranges, get_scenario, select_anchors
+
     rng = ensure_rng(seed)
-    positions = town_layout(59, rng=rng)
-    anchor_idx = random_anchors(len(positions), 18, rng=rng)
-    ranges = gaussian_ranges(positions, max_range_m=22.0, sigma_m=0.33, rng=rng)
+    spec = get_scenario("town-multilateration")
+    positions = draw_deployment(spec.deployment, rng)
+    anchor_idx = select_anchors(spec.anchors, positions, rng)
+    ranges = draw_ranges(spec.ranging, positions, rng)
     return positions, anchor_idx, ranges
 
 

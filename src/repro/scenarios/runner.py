@@ -1,0 +1,135 @@
+"""Scenario execution: campaigns and sweeps behind the result store.
+
+:func:`run_scenario` is the front door the experiments, the CLI, and the
+sweep drivers all use: it turns a :class:`ScenarioSpec` into a campaign
+(fixed-count via :func:`repro.engine.run_monte_carlo`, or adaptive via
+:func:`repro.engine.scheduler.run_adaptive` when a stopping rule is
+given), memoized in a :class:`repro.store.ResultStore` keyed on the
+spec's content hash, the master seed, and the scheduling mode.  A cache
+hit reconstructs the campaign bit-identically from disk and does zero
+simulation work.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..engine.campaign import CampaignResult, run_monte_carlo
+from ..engine.scheduler import ConfidenceStop, resolve_chunk_size, run_adaptive
+from ..store import ResultStore, campaign_from_payload, campaign_to_payload
+from .registry import get_scenario
+from .spec import ScenarioSpec
+from .trial import scenario_trial
+
+__all__ = ["run_scenario", "run_scenario_by_id", "scenario_run_key"]
+
+
+def scenario_run_key(
+    spec: ScenarioSpec,
+    *,
+    master_seed: int,
+    n_trials: int,
+    stopping: Optional[ConfidenceStop] = None,
+    chunk_size: Optional[int] = None,
+) -> Dict[str, Any]:
+    """The canonical description a scenario run is cached under.
+
+    Everything that can change the committed trial records participates:
+    the spec's canonical form, the master seed, the trial budget, and —
+    for adaptive runs — the stopping rule and evaluation chunk size.
+    Worker count and mp context are deliberately absent: they cannot
+    change results (the engine's determinism contract).
+    """
+    mode: Dict[str, Any] = {"kind": "fixed", "n_trials": int(n_trials)}
+    if stopping is not None:
+        mode = {
+            "kind": "adaptive",
+            "max_trials": int(n_trials),
+            "stopping": stopping.describe(),
+            "chunk_size": resolve_chunk_size(stopping, chunk_size),
+        }
+    return {
+        "workload": "scenario-campaign",
+        "spec": spec.canonical(),
+        "master_seed": int(master_seed),
+        "mode": mode,
+    }
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    *,
+    master_seed: int = 0,
+    n_trials: Optional[int] = None,
+    n_workers: int = 1,
+    stopping: Optional[ConfidenceStop] = None,
+    chunk_size: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    use_cache: bool = True,
+    mp_context: Optional[str] = None,
+) -> CampaignResult:
+    """Run (or recall) one scenario campaign.
+
+    Parameters
+    ----------
+    spec : ScenarioSpec
+        The workload; ``spec.n_trials`` is the default trial budget.
+    n_trials : int, optional
+        Override the spec's trial budget (the cap, for adaptive runs).
+    stopping : ConfidenceStop, optional
+        When given, run through the adaptive scheduler and stop early on
+        convergence; otherwise run the fixed-count campaign.
+    store : ResultStore, optional
+        Cache for the campaign payload.  On a hit the stored result is
+        returned without simulating; on a miss the fresh result is
+        published before returning.
+    use_cache : bool
+        ``False`` skips the lookup but still publishes (a forced
+        recompute that heals the cache).
+    """
+    budget = int(spec.n_trials if n_trials is None else n_trials)
+    key = None
+    if store is not None:
+        key = store.key_for(
+            scenario_run_key(
+                spec,
+                master_seed=master_seed,
+                n_trials=budget,
+                stopping=stopping,
+                chunk_size=chunk_size,
+            )
+        )
+        if use_cache:
+            payload = store.get(key)
+            if payload is not None:
+                return campaign_from_payload(payload)
+
+    if stopping is None:
+        result: CampaignResult = run_monte_carlo(
+            scenario_trial,
+            budget,
+            master_seed=master_seed,
+            n_workers=n_workers,
+            trial_kwargs={"spec": spec},
+            mp_context=mp_context,
+        )
+    else:
+        result = run_adaptive(
+            scenario_trial,
+            budget,
+            stopping=stopping,
+            master_seed=master_seed,
+            n_workers=n_workers,
+            chunk_size=chunk_size,
+            trial_kwargs={"spec": spec},
+            mp_context=mp_context,
+        )
+
+    if store is not None and key is not None:
+        store.put(key, campaign_to_payload(result))
+    return result
+
+
+def run_scenario_by_id(scenario_id: str, **kwargs) -> CampaignResult:
+    """Convenience wrapper: look up a registered scenario and run it."""
+    return run_scenario(get_scenario(scenario_id), **kwargs)

@@ -1,0 +1,43 @@
+"""repro.store — the content-addressed result cache.
+
+Campaign and sweep results are pure functions of ``(scenario spec,
+master seed, scheduling mode, code version)``; this package memoizes
+them on disk so repeated campaigns, parameter sweeps, and CI golden runs
+hit the cache instead of re-simulating.  See
+:mod:`repro.store.result_store` for the keying and atomicity model and
+:mod:`repro.store.serialization` for the bit-identical payload contract.
+"""
+
+from .result_store import (
+    STORE_ENV_VAR,
+    STORE_SCHEMA_VERSION,
+    ResultStore,
+    StoreStats,
+    default_code_version,
+    default_store_root,
+    open_default_store,
+)
+from .serialization import (
+    aggregates_equal,
+    campaign_from_payload,
+    campaign_to_payload,
+    measurement_set_from_payload,
+    measurement_set_to_payload,
+    records_equal,
+)
+
+__all__ = [
+    "ResultStore",
+    "StoreStats",
+    "STORE_ENV_VAR",
+    "STORE_SCHEMA_VERSION",
+    "default_code_version",
+    "default_store_root",
+    "open_default_store",
+    "campaign_to_payload",
+    "campaign_from_payload",
+    "measurement_set_to_payload",
+    "measurement_set_from_payload",
+    "records_equal",
+    "aggregates_equal",
+]

@@ -1,0 +1,250 @@
+"""Content-addressed on-disk result store.
+
+Simulation results (campaign trial records, measurement sets) are cached
+under a key derived from *what produced them*: the SHA-256 of a
+canonical-JSON description of the workload (a scenario spec's canonical
+form, a master seed, a scheduling mode) combined with a **code version**
+string.  Re-running the same workload on the same code hits the cache
+and does zero simulation work; changing any spec field, the seed, or the
+code version changes the key and forces a cold run.  There is no
+time-based expiry — entries are immutable values addressed by content,
+so the only invalidation is an explicit :meth:`ResultStore.invalidate` /
+:meth:`ResultStore.clear` or a key change.
+
+Durability and concurrency
+--------------------------
+Payloads are gzip-compressed JSON written to a temporary file in the
+store root and published with ``os.replace`` — an atomic rename on
+POSIX, so readers never observe a half-written entry and concurrent
+writers of the same key simply race to publish identical bytes (last
+rename wins, harmlessly).  Entries are sharded into 256 two-hex-char
+subdirectories to keep directory fan-out flat at scale.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional
+
+from .._canonical import canonical_json, sha256_hex
+from ..errors import ValidationError
+
+__all__ = [
+    "StoreStats",
+    "ResultStore",
+    "default_code_version",
+    "default_store_root",
+    "open_default_store",
+]
+
+#: Bump when the *store payload schema* changes (how results are
+#: serialized), independently of the library version.
+STORE_SCHEMA_VERSION = 1
+
+#: Environment variable overriding the default store location; set to
+#: "off" (or "0"/"none") to disable the default store entirely.
+STORE_ENV_VAR = "REPRO_STORE_DIR"
+
+
+def default_code_version() -> str:
+    """``"<repro version>+schema<N>"`` — the key component that ties an
+    entry to the code that produced it.  Bumping ``repro.__version__``
+    invalidates every cached result."""
+    from .. import __version__
+
+    return f"{__version__}+schema{STORE_SCHEMA_VERSION}"
+
+
+def default_store_root() -> Optional[Path]:
+    """Default on-disk location: ``$REPRO_STORE_DIR`` if set (``None``
+    when set to "off"/"0"/"none"), else ``~/.cache/repro/store``."""
+    configured = os.environ.get(STORE_ENV_VAR)
+    if configured is not None:
+        if configured.strip().lower() in ("off", "0", "none", ""):
+            return None
+        return Path(configured)
+    return Path.home() / ".cache" / "repro" / "store"
+
+
+def open_default_store(*, code_version: Optional[str] = None) -> Optional["ResultStore"]:
+    """A :class:`ResultStore` at the default location, or ``None`` when
+    the default store is disabled via :data:`STORE_ENV_VAR`."""
+    root = default_store_root()
+    if root is None:
+        return None
+    return ResultStore(root, code_version=code_version)
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss accounting for one :class:`ResultStore` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    invalidations: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "invalidations": self.invalidations,
+        }
+
+
+class ResultStore:
+    """Content-addressed cache of JSON-serializable result payloads.
+
+    Parameters
+    ----------
+    root : path-like
+        Directory holding the store (created on first write).
+    code_version : str, optional
+        Key component tying entries to the producing code; defaults to
+        :func:`default_code_version`.
+    """
+
+    def __init__(self, root, *, code_version: Optional[str] = None) -> None:
+        self.root = Path(root)
+        self.code_version = (
+            code_version if code_version is not None else default_code_version()
+        )
+        self.stats = StoreStats()
+
+    # ------------------------------------------------------------------
+    # Keys and paths
+    # ------------------------------------------------------------------
+
+    def key_for(self, description: Any) -> str:
+        """Content address of *description* under this store's code
+        version: ``sha256(canonical_json({key: ..., code_version: ...}))``."""
+        return sha256_hex(
+            canonical_json({"key": description, "code_version": self.code_version})
+        )
+
+    def path_for(self, key: str) -> Path:
+        """On-disk location of *key*'s entry."""
+        self._check_key(key)
+        return self.root / key[:2] / f"{key}.json.gz"
+
+    @staticmethod
+    def _check_key(key: str) -> None:
+        if not (isinstance(key, str) and len(key) == 64 and all(
+            c in "0123456789abcdef" for c in key
+        )):
+            raise ValidationError(f"store keys are 64-char sha256 hex; got {key!r}")
+
+    # ------------------------------------------------------------------
+    # Read / write
+    # ------------------------------------------------------------------
+
+    def contains(self, key: str) -> bool:
+        """True when an entry for *key* exists (does not touch stats)."""
+        return self.path_for(key).is_file()
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The payload stored under *key*, or ``None`` on a miss.
+
+        A corrupt entry (interrupted legacy write, disk damage) counts
+        as a miss and is removed so the caller's fresh ``put`` heals it.
+        """
+        path = self.path_for(key)
+        try:
+            with gzip.open(path, "rt", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, EOFError, json.JSONDecodeError, UnicodeDecodeError):
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def put(self, key: str, payload: Dict[str, Any]) -> Path:
+        """Atomically publish *payload* under *key*; returns its path.
+
+        The payload is staged to a uniquely named temporary file in the
+        store root and moved into place with ``os.replace``, so
+        concurrent writers never corrupt an entry.
+        """
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f".{key}.{os.getpid()}.{uuid.uuid4().hex}.tmp"
+        try:
+            # mtime=0 and an empty embedded filename keep the gzip bytes
+            # a pure function of the payload (no tmp-name or timestamp
+            # leakage), so identical results are identical files.
+            with open(tmp, "wb") as raw:
+                with gzip.GzipFile(
+                    filename="", fileobj=raw, mode="wb", mtime=0
+                ) as fh:
+                    fh.write(
+                        json.dumps(payload, allow_nan=True, sort_keys=True).encode(
+                            "utf-8"
+                        )
+                    )
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+        self.stats.puts += 1
+        return path
+
+    # ------------------------------------------------------------------
+    # Invalidation / maintenance
+    # ------------------------------------------------------------------
+
+    def invalidate(self, key: str) -> bool:
+        """Remove *key*'s entry; True if one existed."""
+        path = self.path_for(key)
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            return False
+        self.stats.invalidations += 1
+        return True
+
+    def clear(self) -> int:
+        """Remove every entry; returns how many were deleted."""
+        removed = 0
+        for path in self.iter_entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        self.stats.invalidations += removed
+        return removed
+
+    def iter_entries(self) -> Iterator[Path]:
+        """Paths of all published entries."""
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if not (shard.is_dir() and len(shard.name) == 2):
+                continue
+            for path in sorted(shard.glob("*.json.gz")):
+                yield path
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.iter_entries())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ResultStore(root={str(self.root)!r}, "
+            f"code_version={self.code_version!r}, entries={len(self)})"
+        )

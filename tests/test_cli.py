@@ -1,0 +1,103 @@
+"""Tests for the ``python -m repro`` command-line entry point."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestList:
+    def test_lists_experiments_and_scenarios(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig18" in out
+        assert "ext-sweep" in out
+        assert "town-multilateration" in out
+        assert "experiments (" in out and "scenarios (" in out
+
+
+class TestRun:
+    def test_run_experiment_by_id(self, capsys):
+        assert main(["run", "fig11", "--seed", "2005"]) == 0
+        out = capsys.readouterr().out
+        assert "[fig11]" in out and "PASS" in out
+
+    def test_run_scenario_with_store(self, tmp_path, capsys):
+        code = main(
+            [
+                "run",
+                "uniform-multilateration",
+                "--seed",
+                "1",
+                "--trials",
+                "2",
+                "--store",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scenario: uniform-multilateration" in out
+        assert "2 trials" in out
+        assert "'misses': 1" in out
+        # warm re-run hits the cache
+        assert (
+            main(
+                [
+                    "run",
+                    "uniform-multilateration",
+                    "--seed",
+                    "1",
+                    "--trials",
+                    "2",
+                    "--store",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        assert "'hits': 1" in capsys.readouterr().out
+
+    def test_run_scenario_no_store(self, capsys):
+        assert (
+            main(
+                ["run", "uniform-multilateration", "--trials", "2", "--no-store"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "store:" not in out
+
+    def test_run_scenario_adaptive(self, tmp_path, capsys):
+        code = main(
+            [
+                "run",
+                "uniform-multilateration",
+                "--trials",
+                "10",
+                "--adaptive",
+                "--tolerance",
+                "1e9",
+                "--store",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        assert "scheduler:" in capsys.readouterr().out
+
+    def test_no_cache_flag_recomputes(self, tmp_path, capsys):
+        args = [
+            "run",
+            "uniform-multilateration",
+            "--trials",
+            "2",
+            "--store",
+            str(tmp_path),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args + ["--no-cache"]) == 0
+        assert "'hits': 0" in capsys.readouterr().out
+
+    def test_unknown_id_exits_2(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown id" in capsys.readouterr().err

@@ -9,10 +9,19 @@ import repro
 
 class TestTopLevelApi:
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_subpackages_exposed(self):
-        for name in ("acoustics", "core", "deploy", "engine", "network", "ranging"):
+        for name in (
+            "acoustics",
+            "core",
+            "deploy",
+            "engine",
+            "network",
+            "ranging",
+            "scenarios",
+            "store",
+        ):
             assert hasattr(repro, name)
 
     def test_convenience_reexports(self):

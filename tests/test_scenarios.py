@@ -1,0 +1,365 @@
+"""Tests for the declarative scenario layer.
+
+Covers spec validation, canonical hashing (stability, id-exclusion,
+physics-sensitivity), sweep expansion, the registry, the picklable
+scenario trial, and the store-backed runner — including the acceptance
+contract that a repeated cached campaign does *zero* simulation work.
+"""
+
+import dataclasses
+import pickle
+
+import numpy as np
+import pytest
+
+import repro.scenarios.runner as runner_module
+from repro.engine import ConfidenceStop
+from repro.errors import ValidationError
+from repro.scenarios import (
+    AnchorSpec,
+    DeploymentSpec,
+    RangingSpec,
+    ScenarioSpec,
+    SolverSpec,
+    all_scenarios,
+    draw_deployment,
+    expand_grid,
+    get_scenario,
+    register_scenario,
+    run_scenario,
+    run_scenario_by_id,
+    scenario_trial,
+)
+from repro.store import ResultStore
+
+
+def _base_spec(**overrides) -> ScenarioSpec:
+    spec = ScenarioSpec(
+        scenario_id="test-base",
+        deployment=DeploymentSpec(kind="uniform", n_nodes=14, width_m=40.0, height_m=40.0),
+        anchors=AnchorSpec(strategy="random", fraction=None, count=6),
+        ranging=RangingSpec(model="gaussian", max_range_m=20.0, sigma_m=0.33),
+        solver=SolverSpec(algorithm="multilateration"),
+        n_trials=3,
+    )
+    return spec.with_overrides(**overrides) if overrides else spec
+
+
+class TestSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValidationError):
+            DeploymentSpec(kind="mars")
+
+    def test_grid_requires_square_count(self):
+        with pytest.raises(ValidationError):
+            DeploymentSpec(kind="grid", n_nodes=15)
+        DeploymentSpec(kind="grid", n_nodes=16)
+
+    def test_anchor_spec_exclusive_fields(self):
+        with pytest.raises(ValidationError):
+            AnchorSpec(strategy="random", fraction=0.2, count=5)
+        with pytest.raises(ValidationError):
+            AnchorSpec(strategy="random", fraction=None, count=None)
+        with pytest.raises(ValidationError):
+            AnchorSpec(strategy="none", fraction=0.2)
+
+    def test_anchor_count_resolution(self):
+        assert AnchorSpec(strategy="random", fraction=0.25).n_anchors(36) == 9
+        assert AnchorSpec(strategy="random", count=50).n_anchors(36) == 36
+        assert AnchorSpec(strategy="none").n_anchors(36) == 0
+
+    def test_anchor_count_only_constructor(self):
+        spec = AnchorSpec(count=10)
+        assert spec.fraction is None and spec.n_anchors(36) == 10
+
+    def test_dv_hop_backend_normalized_into_hash(self):
+        default = SolverSpec(algorithm="dv-hop")
+        explicit = SolverSpec(algorithm="dv-hop", backend="lm")
+        assert default == explicit  # same physics, same hash
+
+    def test_lss_must_be_anchor_free(self):
+        with pytest.raises(ValidationError):
+            _base_spec(**{"solver.algorithm": "lss"})
+        ScenarioSpec(
+            scenario_id="ok",
+            anchors=AnchorSpec(strategy="none", fraction=None, count=None),
+            solver=SolverSpec(algorithm="lss"),
+        )
+
+    def test_anchored_algorithms_need_anchors(self):
+        with pytest.raises(ValidationError):
+            ScenarioSpec(
+                scenario_id="bad",
+                anchors=AnchorSpec(strategy="none", fraction=None, count=None),
+                solver=SolverSpec(algorithm="multilateration"),
+            )
+
+
+class TestSpecHashing:
+    def test_hash_is_stable_and_hex(self):
+        a, b = _base_spec(), _base_spec()
+        assert a.spec_hash() == b.spec_hash()
+        assert len(a.spec_hash()) == 64
+
+    def test_hash_ignores_cosmetic_id(self):
+        spec = _base_spec()
+        renamed = dataclasses.replace(spec, scenario_id="renamed")
+        assert renamed.spec_hash() == spec.spec_hash()
+
+    @pytest.mark.parametrize(
+        "path,value",
+        [
+            ("deployment.n_nodes", 15),
+            ("deployment.width_m", 41.0),
+            ("anchors.count", 7),
+            ("ranging.sigma_m", 0.34),
+            ("ranging.max_range_m", 21.0),
+            ("solver.backend", "scalar"),
+            ("n_trials", 4),
+            ("target_metric", "median_error_m"),
+        ],
+    )
+    def test_every_physical_field_changes_hash(self, path, value):
+        assert _base_spec(**{path: value}).spec_hash() != _base_spec().spec_hash()
+
+    def test_canonical_json_sorted_and_compact(self):
+        text = _base_spec().canonical_json()
+        assert " " not in text
+        assert text.index('"anchors"') < text.index('"deployment"')
+        assert "scenario_id" not in text
+
+
+class TestOverridesAndGrid:
+    def test_with_overrides_dotted_paths(self):
+        spec = _base_spec(**{"ranging.sigma_m": 0.1, "n_trials": 9})
+        assert spec.ranging.sigma_m == 0.1
+        assert spec.n_trials == 9
+        # original untouched (frozen)
+        assert _base_spec().ranging.sigma_m == 0.33
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValidationError):
+            _base_spec(**{"ranging.flux_capacitor": 1.21})
+        with pytest.raises(ValidationError):
+            _base_spec(nonexistent=1)
+
+    def test_grid_cross_product(self):
+        specs = _base_spec().grid(
+            {"deployment.n_nodes": [9, 16], "ranging.sigma_m": [0.1, 0.2, 0.3]}
+        )
+        assert len(specs) == 6
+        assert len({s.scenario_id for s in specs}) == 6
+        assert len({s.spec_hash() for s in specs}) == 6
+        assert all("n_nodes=" in s.scenario_id for s in specs)
+        # axis order: first axis varies slowest
+        assert specs[0].deployment.n_nodes == 9
+        assert specs[-1].deployment.n_nodes == 16
+
+    def test_grid_empty_axes_returns_base(self):
+        spec = _base_spec()
+        assert expand_grid(spec, {}) == (spec,)
+
+    def test_grid_rejects_empty_axis(self):
+        with pytest.raises(ValidationError):
+            _base_spec().grid({"n_trials": []})
+
+
+class TestRegistry:
+    def test_builtins_present_and_valid(self):
+        scenarios = all_scenarios()
+        assert len(scenarios) >= 8
+        for scenario_id, spec in scenarios.items():
+            assert spec.scenario_id == scenario_id
+            assert len(spec.spec_hash()) == 64
+
+    def test_get_unknown_lists_known(self):
+        with pytest.raises(KeyError, match="town-multilateration"):
+            get_scenario("fig99")
+
+    def test_duplicate_registration_rejected(self):
+        spec = get_scenario("town-multilateration")
+        with pytest.raises(ValidationError):
+            register_scenario(spec)
+
+
+class TestScenarioTrial:
+    def test_deterministic_given_seed(self):
+        spec = _base_spec()
+        a = scenario_trial(np.random.default_rng(4), spec=spec)
+        b = scenario_trial(np.random.default_rng(4), spec=spec)
+        assert a == b
+
+    def test_metrics_contract(self):
+        metrics = scenario_trial(np.random.default_rng(4), spec=_base_spec())
+        assert {"fraction_localized", "mean_error_m", "median_error_m"} <= set(metrics)
+        assert 0.0 <= metrics["fraction_localized"] <= 1.0
+
+    def test_spec_and_trial_are_picklable(self):
+        spec = _base_spec()
+        assert pickle.loads(pickle.dumps(spec)) == spec
+        fn = pickle.loads(pickle.dumps(scenario_trial))
+        assert fn is scenario_trial
+
+    def test_degenerate_all_anchor_draw_yields_nan(self):
+        spec = _base_spec(**{"anchors.count": 14})
+        metrics = scenario_trial(np.random.default_rng(4), spec=spec)
+        assert np.isnan(metrics["fraction_localized"])
+
+    def test_lss_trial_path(self):
+        spec = ScenarioSpec(
+            scenario_id="lss-small",
+            deployment=DeploymentSpec(
+                kind="uniform", n_nodes=10, width_m=35.0, height_m=35.0,
+                min_separation_m=5.0,
+            ),
+            anchors=AnchorSpec(strategy="none", fraction=None, count=None),
+            ranging=RangingSpec(model="gaussian", max_range_m=22.0, sigma_m=0.2),
+            solver=SolverSpec(
+                algorithm="lss", min_spacing_m=5.0, restarts=2, max_epochs=300
+            ),
+            n_trials=1,
+        )
+        metrics = scenario_trial(np.random.default_rng(4), spec=spec)
+        assert metrics["fraction_localized"] == 1.0
+        assert metrics["epochs_run"] > 0
+
+    def test_deployment_kinds_produce_expected_counts(self):
+        rng = np.random.default_rng(0)
+        for kind, n in [("uniform", 9), ("grid", 9), ("paper-grid", 47), ("town", 12)]:
+            spec = DeploymentSpec(kind=kind, n_nodes=n, width_m=50.0, height_m=50.0,
+                                  min_separation_m=3.0)
+            assert draw_deployment(spec, rng).shape == (n, 2)
+
+
+class TestRunScenario:
+    def test_cache_hit_is_bit_identical_to_cold_run(self, tmp_path):
+        store = ResultStore(tmp_path, code_version="v1")
+        spec = _base_spec()
+        cold = run_scenario(spec, master_seed=3, store=store)
+        warm = run_scenario(spec, master_seed=3, store=store)
+        assert store.stats.hits == 1 and store.stats.misses == 1
+        assert warm.records == cold.records
+        assert warm.aggregate() == cold.aggregate()
+
+    def test_cache_hit_does_zero_simulation_work(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path, code_version="v1")
+        spec = _base_spec()
+        run_scenario(spec, master_seed=3, store=store)
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("simulation ran despite cache hit")
+
+        monkeypatch.setattr(runner_module, "run_monte_carlo", boom)
+        monkeypatch.setattr(runner_module, "run_adaptive", boom)
+        warm = run_scenario(spec, master_seed=3, store=store)
+        assert warm.n_trials == spec.n_trials
+
+    def test_spec_change_invalidates(self, tmp_path):
+        store = ResultStore(tmp_path, code_version="v1")
+        run_scenario(_base_spec(), master_seed=3, store=store)
+        run_scenario(
+            _base_spec(**{"ranging.sigma_m": 0.5}), master_seed=3, store=store
+        )
+        assert store.stats.hits == 0 and store.stats.misses == 2
+
+    def test_seed_change_invalidates(self, tmp_path):
+        store = ResultStore(tmp_path, code_version="v1")
+        run_scenario(_base_spec(), master_seed=3, store=store)
+        run_scenario(_base_spec(), master_seed=4, store=store)
+        assert store.stats.hits == 0 and store.stats.misses == 2
+
+    def test_code_version_bump_invalidates(self, tmp_path):
+        spec = _base_spec()
+        old = ResultStore(tmp_path, code_version="v1")
+        cold = run_scenario(spec, master_seed=3, store=old)
+        bumped = ResultStore(tmp_path, code_version="v2")
+        recomputed = run_scenario(spec, master_seed=3, store=bumped)
+        assert bumped.stats.hits == 0 and bumped.stats.misses == 1
+        # same physics, so same results — but via a fresh simulation
+        assert recomputed.records == cold.records
+
+    def test_no_cache_recomputes_and_republished(self, tmp_path):
+        store = ResultStore(tmp_path, code_version="v1")
+        spec = _base_spec()
+        run_scenario(spec, master_seed=3, store=store)
+        forced = run_scenario(spec, master_seed=3, store=store, use_cache=False)
+        assert store.stats.hits == 0
+        assert store.stats.puts == 2
+        assert forced.n_trials == spec.n_trials
+
+    def test_adaptive_and_fixed_are_cached_separately(self, tmp_path):
+        store = ResultStore(tmp_path, code_version="v1")
+        spec = _base_spec(n_trials=12)
+        stopping = ConfidenceStop(
+            metric="mean_error_m", tolerance=1e9, min_trials=2
+        )
+        fixed = run_scenario(spec, master_seed=3, store=store)
+        adaptive = run_scenario(spec, master_seed=3, store=store, stopping=stopping)
+        assert store.stats.misses == 2  # distinct keys
+        assert adaptive.converged
+        # the trivially-satisfied rule stops at the first chunk boundary,
+        # and the committed records are a prefix of the fixed run's
+        assert adaptive.records == fixed.records[: adaptive.n_trials]
+        warm = run_scenario(spec, master_seed=3, store=store, stopping=stopping)
+        assert warm == adaptive
+
+    def test_run_by_id(self, tmp_path):
+        store = ResultStore(tmp_path, code_version="v1")
+        result = run_scenario_by_id(
+            "uniform-multilateration", master_seed=1, n_trials=2, store=store
+        )
+        assert result.n_trials == 2
+
+
+class TestExperimentIntegration:
+    def test_repeated_ext_campaign_does_zero_simulation_work(
+        self, tmp_path, monkeypatch
+    ):
+        """Acceptance criterion: with the store enabled, a repeated
+        ext-campaign run is served entirely from the cache."""
+        from repro.experiments.extension_experiments import ext_campaign_statistics
+
+        store = ResultStore(tmp_path, code_version="v1")
+        first = ext_campaign_statistics(2005, store=store)
+        assert first.passed
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("simulation ran despite warm store")
+
+        monkeypatch.setattr(runner_module, "run_monte_carlo", boom)
+        monkeypatch.setattr(runner_module, "run_adaptive", boom)
+        second = ext_campaign_statistics(2005, store=store)
+        assert second.passed
+        assert second.measured["mean_error_m"] == first.measured["mean_error_m"]
+        assert store.stats.hits >= 2
+
+    def test_grass_campaign_memoized_in_store(self, tmp_path, monkeypatch):
+        """The figure drivers' shared field campaign is served from the
+        content-addressed store on re-runs, bit-identically."""
+        import repro.experiments.common as common
+
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path))
+        common._campaign_cached.cache_clear()
+        raw_cold, edges_cold = common.grass_campaign_edges(n_nodes=12, seed=77)
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("campaign re-simulated despite warm store")
+
+        monkeypatch.setattr(common, "_simulate_grass_campaign", boom)
+        common._campaign_cached.cache_clear()
+        raw_warm, edges_warm = common.grass_campaign_edges(n_nodes=12, seed=77)
+        assert len(raw_warm) == len(raw_cold)
+        assert np.array_equal(edges_warm.pairs, edges_cold.pairs)
+        assert np.array_equal(edges_warm.distances, edges_cold.distances)
+        assert np.array_equal(edges_warm.weights, edges_cold.weights)
+        common._campaign_cached.cache_clear()
+
+    def test_grass_campaign_store_can_be_disabled(self, tmp_path, monkeypatch):
+        import repro.experiments.common as common
+
+        monkeypatch.setenv("REPRO_STORE_DIR", "off")
+        common._campaign_cached.cache_clear()
+        raw, edges = common.grass_campaign_edges(n_nodes=12, seed=77)
+        assert len(edges) > 0
+        assert not any(tmp_path.iterdir())
+        common._campaign_cached.cache_clear()
