@@ -1,14 +1,17 @@
-"""Distributed LSS localization (Section 4.3).
+"""Distributed LSS localization (Section 4.3, Figures 24 and 25).
 
 Three steps, each implemented as a separately testable stage:
 
 1. **Local localization** — every node runs LSS over itself and its
    measurement neighbors, producing a *local relative coordinate
-   system* (:func:`build_local_maps`).
+   system* (:func:`build_local_maps`; Section 4.3's per-node stage,
+   whose sparse-data failure mode is Figure 24 and whose
+   extended-measurement recovery is Figure 25).
 2. **Pairwise transforms** — for each pair of neighboring nodes, a
    rigid transform between their local frames is estimated from their
    shared neighbors (:func:`build_transforms`), using either the paper's
-   closed-form center-of-mass method or the heavier minimization.
+   closed-form center-of-mass method (Section 4.3.1) or the heavier
+   minimization.
 3. **Alignment** — the root's frame is flooded through the network;
    each node composes the received frame with its pairwise transform
    and forwards it, ending with every reachable node knowing its
@@ -21,6 +24,24 @@ with sparse measurements a single bad pairwise transform corrupts the
 whole subtree behind it.  The ``tree="best"`` option implements the
 obvious mitigation (prefer low-residual transforms when building the
 alignment tree), benchmarked as an ablation.
+
+Execution paths
+---------------
+In the simulator this pipeline is embarrassingly batchable: a
+deployment's local maps are many small independent LSS problems, and
+its pairwise transforms many small independent closed-form fits.  With
+the default ``DistributedConfig(solver="batched")`` steps 1 and 2 run
+through the engine's stacked kernels — all local maps advance through
+their perturbation-restart rounds in lockstep
+(:func:`repro.engine.localmaps.solve_local_lss_stack`) and all pairwise
+transforms are estimated in one vectorized pass
+(:func:`repro.core.transforms.estimate_transforms_closed_form_batch`).
+``solver="scalar"`` keeps the one-problem-at-a-time reference path; the
+two paths consume perturbation randomness in different orders (batched
+phases fits before trim-refits; scalar interleaves them per map), so
+they agree to solver tolerance rather than bit-for-bit —
+``tests/test_distributed.py`` and ``benchmarks/test_bench_distributed.py``
+pin the agreement and the speedup.
 """
 
 from __future__ import annotations
@@ -70,6 +91,14 @@ class DistributedConfig:
         Alignment-tree construction: ``"bfs"`` is the paper's plain
         flood (first frame heard wins); ``"best"`` builds a
         minimum-residual tree over transform quality (extension).
+    solver : {"batched", "scalar"}
+        Execution path for steps 1 and 2: ``"batched"`` (default)
+        stacks every local-map LSS problem and every pairwise transform
+        fit through the engine's vectorized kernels; ``"scalar"`` is
+        the per-problem reference path, kept selectable for the
+        batched/scalar parity tests.  Both paths implement the same
+        algorithm; they differ only in perturbation-noise ordering and
+        floating-point reduction order.
     min_spacing_m : float or None
         Deployment minimum node spacing; when set, it is applied as the
         soft constraint of every *local* LSS run (local neighborhoods
@@ -91,6 +120,7 @@ class DistributedConfig:
     tree: str = "bfs"
     min_spacing_m: Optional[float] = None
     residual_trim_m: Optional[float] = 3.0
+    solver: str = "batched"
 
     def __post_init__(self):
         if self.transform_method not in ("closed_form", "minimize"):
@@ -99,6 +129,8 @@ class DistributedConfig:
             raise ValidationError("min_shared must be >= 2")
         if self.tree not in ("bfs", "best"):
             raise ValidationError("tree must be 'bfs' or 'best'")
+        if self.solver not in ("batched", "scalar"):
+            raise ValidationError("solver must be 'batched' or 'scalar'")
 
     @property
     def effective_local_lss(self) -> LssConfig:
@@ -174,23 +206,17 @@ def _as_edges(measurements, n_nodes: int) -> EdgeList:
     return edges
 
 
-def build_local_maps(
-    measurements,
-    n_nodes: int,
-    *,
-    config: Optional[DistributedConfig] = None,
-    rng=None,
-) -> Dict[int, LocalMap]:
-    """Step 1: run LSS in every node's one-hop neighborhood.
+def _neighborhood_problems(
+    edges: EdgeList, n_nodes: int
+) -> List[Tuple[int, List[int], EdgeList]]:
+    """Collect every node's one-hop local-map problem.
 
-    Nodes with fewer than two neighbors cannot form a useful local map
-    and are skipped (they may still be localized if they appear in
-    neighbors' maps — but have no frame of their own to align).
+    Returns ``(owner, members, local_edges)`` triples in owner order;
+    ``local_edges`` is indexed by position in ``members``.  Nodes with
+    fewer than two neighbors (or fewer than three usable local edges)
+    yield no problem.  Shared by the scalar and batched solve paths, so
+    both see the identical problem set.
     """
-    config = config if config is not None else DistributedConfig()
-    rng = ensure_rng(rng)
-    edges = _as_edges(measurements, n_nodes)
-
     neighbor_map: Dict[int, Set[int]] = {i: set() for i in range(n_nodes)}
     edge_lookup: Dict[Tuple[int, int], Tuple[float, float]] = {}
     for (i, j), d, w in zip(edges.pairs, edges.distances, edges.weights):
@@ -199,7 +225,7 @@ def build_local_maps(
         neighbor_map[j].add(i)
         edge_lookup[(min(i, j), max(i, j))] = (float(d), float(w))
 
-    maps: Dict[int, LocalMap] = {}
+    problems: List[Tuple[int, List[int], EdgeList]] = []
     for owner in range(n_nodes):
         members = sorted({owner} | neighbor_map[owner])
         if len(members) < 3:
@@ -223,32 +249,48 @@ def build_local_maps(
             distances=np.asarray(local_dists),
             weights=np.asarray(local_weights),
         )
-        # Seed the local minimization from MDS-MAP (shortest-path
-        # completion + classical MDS): neighborhood graphs are dense
-        # enough that this lands in the right basin nearly always,
-        # where a random start folds ~15% of the time.  The init is
-        # built from corroborated edges only — shortest-path completion
-        # amplifies a single garbage underestimate into many wrong
-        # entries, so uncorroborated ranges are excluded here (they
-        # still participate, down-weighted, in the refinement).
-        initial = None
-        for min_weight in (0.5, 0.0):
-            confident = local_edges.weights >= min_weight
-            candidate_edges = EdgeList(
-                pairs=local_edges.pairs[confident],
-                distances=local_edges.distances[confident],
-                weights=local_edges.weights[confident],
-            )
-            try:
-                initial = mds_map(candidate_edges, len(members))
-                break
-            except (GraphDisconnectedError, InsufficientDataError):
-                continue
+        problems.append((owner, members, local_edges))
+    return problems
+
+
+def _mds_initial(local_edges: EdgeList, n_members: int) -> Optional[np.ndarray]:
+    """MDS-MAP seed for one local minimization (None when impossible).
+
+    Neighborhood graphs are dense enough that shortest-path completion
+    plus classical MDS lands in the right basin nearly always, where a
+    random start folds ~15% of the time.  The init is built from
+    corroborated edges only — shortest-path completion amplifies a
+    single garbage underestimate into many wrong entries, so
+    uncorroborated ranges are excluded here (they still participate,
+    down-weighted, in the refinement).
+    """
+    for min_weight in (0.5, 0.0):
+        confident = local_edges.weights >= min_weight
+        candidate_edges = EdgeList(
+            pairs=local_edges.pairs[confident],
+            distances=local_edges.distances[confident],
+            weights=local_edges.weights[confident],
+        )
+        try:
+            return mds_map(candidate_edges, n_members)
+        except (GraphDisconnectedError, InsufficientDataError):
+            continue
+    return None
+
+
+def _solve_local_maps_scalar(
+    problems: List[Tuple[int, List[int], EdgeList]],
+    config: DistributedConfig,
+    rng,
+) -> List[np.ndarray]:
+    """Reference path: one LSS run (plus optional trim-refit) per map."""
+    positions: List[np.ndarray] = []
+    for owner, members, local_edges in problems:
         result = lss_localize(
             local_edges,
             len(members),
             config=config.effective_local_lss,
-            initial=initial,
+            initial=_mds_initial(local_edges, len(members)),
             rng=rng,
         )
         if config.residual_trim_m is not None:
@@ -263,9 +305,91 @@ def build_local_maps(
                     initial=result.positions,
                     rng=rng,
                 )
-        coordinates = {
-            node: result.positions[index[node]].copy() for node in members
-        }
+        positions.append(result.positions)
+    return positions
+
+
+def _solve_local_maps_batched(
+    problems: List[Tuple[int, List[int], EdgeList]],
+    config: DistributedConfig,
+    rng,
+) -> List[np.ndarray]:
+    """Batched path: all maps descend in lockstep through the engine.
+
+    Phase 1 stacks every neighborhood's multistart LSS into one
+    :func:`repro.engine.localmaps.solve_local_lss_stack` call; phase 2
+    re-runs the subset whose residual trim dropped edges, again as one
+    stack seeded from the phase-1 configurations.
+    """
+    from ..engine.localmaps import LocalLssProblem, solve_local_lss_stack
+
+    lss_config = config.effective_local_lss
+    stack = [
+        LocalLssProblem(
+            n_nodes=len(members),
+            edges=local_edges,
+            initial=_mds_initial(local_edges, len(members)),
+        )
+        for _, members, local_edges in problems
+    ]
+    solutions = solve_local_lss_stack(stack, config=lss_config, rng=rng)
+    positions = [solution.positions for solution in solutions]
+
+    if config.residual_trim_m is not None:
+        refit_indices: List[int] = []
+        refit_stack: List[LocalLssProblem] = []
+        for k, (_, members, local_edges) in enumerate(problems):
+            trimmed = _trim_local_edges(
+                local_edges, positions[k], config.residual_trim_m
+            )
+            if trimmed is not None and len(trimmed) >= 3:
+                refit_indices.append(k)
+                refit_stack.append(
+                    LocalLssProblem(
+                        n_nodes=len(members), edges=trimmed, initial=positions[k]
+                    )
+                )
+        if refit_stack:
+            refits = solve_local_lss_stack(refit_stack, config=lss_config, rng=rng)
+            for k, solution in zip(refit_indices, refits):
+                positions[k] = solution.positions
+    return positions
+
+
+def build_local_maps(
+    measurements,
+    n_nodes: int,
+    *,
+    config: Optional[DistributedConfig] = None,
+    rng=None,
+) -> Dict[int, LocalMap]:
+    """Step 1: run LSS in every node's one-hop neighborhood.
+
+    Nodes with fewer than two neighbors cannot form a useful local map
+    and are skipped (they may still be localized if they appear in
+    neighbors' maps — but have no frame of their own to align).
+
+    With ``config.solver == "batched"`` (the default) every
+    neighborhood problem of the round — padded to the largest
+    neighborhood — advances through its perturbation-restart rounds in
+    one stacked engine descent; ``"scalar"`` solves them one at a time.
+    Non-gradient local backends (``LssConfig(backend="lbfgs")``) only
+    exist as scalar implementations, so they always take the per-map
+    path regardless of ``config.solver``.
+    """
+    config = config if config is not None else DistributedConfig()
+    rng = ensure_rng(rng)
+    edges = _as_edges(measurements, n_nodes)
+    problems = _neighborhood_problems(edges, n_nodes)
+    batchable = config.effective_local_lss.backend in ("gd", "gd-scalar")
+    if config.solver == "scalar" or not batchable:
+        positions = _solve_local_maps_scalar(problems, config, rng)
+    else:
+        positions = _solve_local_maps_batched(problems, config, rng)
+
+    maps: Dict[int, LocalMap] = {}
+    for (owner, members, _), pts in zip(problems, positions):
+        coordinates = {node: pts[k].copy() for k, node in enumerate(members)}
         maps[owner] = LocalMap(owner=owner, coordinates=coordinates)
     return maps
 
@@ -308,10 +432,17 @@ def build_transforms(
     coordinates in *b*'s frame into *a*'s frame.  Both directions are
     stored.  Pairs whose maps share fewer than ``config.min_shared``
     nodes are omitted.
+
+    With ``config.solver == "batched"`` and the closed-form estimator
+    (the defaults), all pairs' fits — two directed problems per pair —
+    are stacked into one
+    :func:`repro.core.transforms.estimate_transforms_closed_form_batch`
+    call; the ``"minimize"`` method always runs per pair.
     """
     config = config if config is not None else DistributedConfig()
     transforms: Dict[Tuple[int, int], TransformEstimate] = {}
     owners = sorted(local_maps)
+    tasks: List[Tuple[int, int, np.ndarray, np.ndarray]] = []
     for a in owners:
         map_a = local_maps[a]
         for b in map_a.members:
@@ -323,17 +454,44 @@ def build_transforms(
                 continue
             source_b = map_b.coords_for(shared)
             target_a = map_a.coords_for(shared)
-            try:
-                into_a = estimate_transform(
-                    source_b, target_a, method=config.transform_method
-                )
-                into_b = estimate_transform(
-                    target_a, source_b, method=config.transform_method
-                )
-            except InsufficientDataError:
-                continue
-            transforms[(a, b)] = into_a
-            transforms[(b, a)] = into_b
+            tasks.append((a, b, source_b, target_a))
+    if not tasks:
+        return transforms
+
+    if config.solver == "batched" and config.transform_method == "closed_form":
+        from .transforms import estimate_transforms_closed_form_batch
+
+        # Two directed problems per pair: (b -> a) then (a -> b).
+        max_shared = max(task[2].shape[0] for task in tasks)
+        n_problems = 2 * len(tasks)
+        sources = np.zeros((n_problems, max_shared, 2))
+        targets = np.zeros((n_problems, max_shared, 2))
+        valid = np.zeros((n_problems, max_shared), dtype=bool)
+        for t, (_, _, source_b, target_a) in enumerate(tasks):
+            n_shared = source_b.shape[0]
+            sources[2 * t, :n_shared] = source_b
+            targets[2 * t, :n_shared] = target_a
+            sources[2 * t + 1, :n_shared] = target_a
+            targets[2 * t + 1, :n_shared] = source_b
+            valid[2 * t : 2 * t + 2, :n_shared] = True
+        estimates = estimate_transforms_closed_form_batch(sources, targets, valid)
+        for t, (a, b, _, _) in enumerate(tasks):
+            transforms[(a, b)] = estimates[2 * t]
+            transforms[(b, a)] = estimates[2 * t + 1]
+        return transforms
+
+    for a, b, source_b, target_a in tasks:
+        try:
+            into_a = estimate_transform(
+                source_b, target_a, method=config.transform_method
+            )
+            into_b = estimate_transform(
+                target_a, source_b, method=config.transform_method
+            )
+        except InsufficientDataError:
+            continue
+        transforms[(a, b)] = into_a
+        transforms[(b, a)] = into_b
     return transforms
 
 

@@ -21,6 +21,15 @@ The paper presents two estimators, both implemented here:
 Both return a :class:`TransformEstimate` carrying the homogeneous matrix
 (the paper's row-vector convention), the residual error, and the chosen
 reflection — so the alignment step can propagate quality information.
+
+:func:`estimate_transforms_closed_form_batch` is the vectorized form of
+the closed-form estimator: a whole refinement round's pairwise
+transforms (one problem per neighboring-map pair and direction) are
+stacked into padded ``(n_problems, max_shared, 2)`` correspondence
+arrays with a validity mask and solved in one pass — the batched
+map-stitching step of the distributed pipeline
+(:func:`repro.core.distributed.build_transforms` with the default
+``solver="batched"``).
 """
 
 from __future__ import annotations
@@ -41,6 +50,7 @@ __all__ = [
     "transform_residual",
     "estimate_transform_minimize",
     "estimate_transform_closed_form",
+    "estimate_transforms_closed_form_batch",
     "estimate_transform",
 ]
 
@@ -207,6 +217,119 @@ def estimate_transform_closed_form(source, target) -> TransformEstimate:
                 best = candidate
     assert best is not None
     return best
+
+
+def estimate_transforms_closed_form_batch(
+    sources: np.ndarray,
+    targets: np.ndarray,
+    valid: Optional[np.ndarray] = None,
+) -> list:
+    """Closed-form transform estimation over a stack of problems.
+
+    Parameters
+    ----------
+    sources, targets : ndarray of shape (P, S, 2)
+        Padded correspondence stacks: problem ``p`` uses the rows where
+        ``valid[p]`` is True (source-frame points and their target-frame
+        counterparts).  Padded rows may hold anything.
+    valid : ndarray of bool, shape (P, S), optional
+        Mask of real correspondence slots; all-True when omitted.
+
+    Per problem this evaluates the same four candidates as
+    :func:`estimate_transform_closed_form` — both roots of the paper's
+    center-of-mass rotation equation, with and without reflection — and
+    keeps the least-error combination; masked statistics (sums over
+    valid slots divided by the count) replace the scalar ``np.mean``,
+    so results agree with the scalar estimator to floating-point
+    reduction tolerance.  Returns one :class:`TransformEstimate` per
+    problem, in order.
+    """
+    src = np.asarray(sources, dtype=float)
+    tgt = np.asarray(targets, dtype=float)
+    if src.ndim != 3 or src.shape[-1] != 2 or src.shape != tgt.shape:
+        raise ValidationError(
+            f"sources and targets must share a (P, S, 2) shape; got "
+            f"{src.shape} vs {tgt.shape}"
+        )
+    n_problems, max_shared = src.shape[:2]
+    if valid is None:
+        valid = np.ones((n_problems, max_shared), dtype=bool)
+    valid = np.asarray(valid, dtype=bool)
+    counts = valid.sum(axis=1)
+    if np.any(counts < 2):
+        raise InsufficientDataError(
+            "every problem needs at least two shared points to estimate "
+            "a rigid transform"
+        )
+    if n_problems == 0:
+        return []
+
+    cnt = counts.astype(float)
+    vmask = valid[..., None]
+    mu_src = np.where(vmask, src, 0.0).sum(axis=1) / cnt[:, None]
+    mu_tgt = np.where(vmask, tgt, 0.0).sum(axis=1) / cnt[:, None]
+    # Centered coordinates, zeroed on padding so reductions see exact 0s.
+    u = np.where(valid, src[..., 0] - mu_src[:, 0:1], 0.0)
+    v = np.where(valid, src[..., 1] - mu_src[:, 1:2], 0.0)
+    x = np.where(valid, tgt[..., 0] - mu_tgt[:, 0:1], 0.0)
+    y = np.where(valid, tgt[..., 1] - mu_tgt[:, 1:2], 0.0)
+
+    best_error = np.full(n_problems, np.inf)
+    best_theta = np.zeros(n_problems)
+    best_reflect = np.zeros(n_problems, dtype=bool)
+    best_rot = np.zeros((n_problems, 2, 2))
+    centered = np.stack([u, v], axis=-1)
+
+    for reflect in (False, True):
+        # Reflection (f = -1) flips the second row of the rotation
+        # block; for centered coordinates this is equivalent to negating
+        # v and solving for a pure rotation (scalar estimator's trick).
+        f = -1.0 if reflect else 1.0
+        v_eff = -v if reflect else v
+        c_xu = (x * u).sum(axis=1) / cnt
+        c_yv = (y * v_eff).sum(axis=1) / cnt
+        c_xv = (x * v_eff).sum(axis=1) / cnt
+        c_yu = (y * u).sum(axis=1) / cnt
+        theta_root = np.arctan2(c_xv - c_yu, c_xu + c_yv)
+        for offset in (0.0, math.pi):
+            theta = theta_root + offset
+            c = np.cos(theta)
+            s = np.sin(theta)
+            # Row-vector rotation block of rigid_transform_matrix.
+            rot = np.empty((n_problems, 2, 2))
+            rot[:, 0, 0] = c
+            rot[:, 0, 1] = -s
+            rot[:, 1, 0] = f * s
+            rot[:, 1, 1] = f * c
+            mapped = np.einsum("psi,pij->psj", centered, rot)
+            residual = np.where(
+                vmask, mapped + mu_tgt[:, None, :] - tgt, 0.0
+            )
+            error = np.einsum("psi,psi->p", residual, residual)
+            better = error < best_error
+            best_error = np.where(better, error, best_error)
+            best_theta = np.where(better, theta, best_theta)
+            best_reflect = np.where(better, reflect, best_reflect)
+            best_rot = np.where(better[:, None, None], rot, best_rot)
+
+    # translate(-mu_src) . rot . translate(+mu_tgt), composed directly.
+    matrices = np.zeros((n_problems, 3, 3))
+    matrices[:, :2, :2] = best_rot
+    matrices[:, 2, :2] = mu_tgt - np.einsum("pi,pij->pj", mu_src, best_rot)
+    matrices[:, 2, 2] = 1.0
+
+    rmse = np.sqrt(best_error / cnt)
+    return [
+        TransformEstimate(
+            matrix=matrices[p],
+            error=float(best_error[p]),
+            rmse=float(rmse[p]),
+            theta=float(best_theta[p] % (2 * math.pi)),
+            reflected=bool(best_reflect[p]),
+            n_correspondences=int(counts[p]),
+        )
+        for p in range(n_problems)
+    ]
 
 
 def estimate_transform(source, target, method: str = "closed_form") -> TransformEstimate:

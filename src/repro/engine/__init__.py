@@ -12,7 +12,15 @@ This subsystem provides the batched substrate those campaigns run on:
     adaptive-gradient-descent loop; LSS objective/gradient/descent
     kernels operate on ``(n_configs, n_nodes, 2)`` stacked
     configurations, so independent restarts or seeds advance in
-    lockstep.
+    lockstep.  The ``*_padded`` variants stack *heterogeneous* LSS
+    problems (per-problem node counts, edge lists, and constraint sets,
+    padded with exact-zero slots) for the distributed pipeline.
+:mod:`repro.engine.localmaps`
+    The distributed-LSS local-map solver: every node's one-hop
+    neighborhood problem of a refinement round advances through its
+    perturbation-restart rounds in one stacked descent
+    (:func:`solve_local_lss_stack`), the path
+    ``repro.core.distributed`` routes through by default.
 :mod:`repro.engine.campaign`
     A seeded Monte-Carlo campaign runner: independent trials fan out
     across ``multiprocessing`` workers, each trial drawing its own
@@ -46,23 +54,33 @@ Scalar/batched parity contract
 For every batched kernel the per-problem update rule, acceptance test,
 and termination condition are *the same operations in the same order*
 as the scalar reference path (``repro.core.multilateration`` with
-``solver="scalar"``; ``repro.core.lss`` with ``backend="gd-scalar"``).
-Batched and scalar runs from the same seed must therefore agree to
-floating-point reduction tolerance; ``tests/test_engine_batch.py``
-enforces this on fixed-seed grid, random, and sparse networks.  The
-scalar paths stay in the tree precisely to keep that contract testable.
+``solver="scalar"``; ``repro.core.lss`` with ``backend="gd-scalar"``;
+``repro.core.distributed`` with ``solver="scalar"``).  Batched and
+scalar runs from the same seed must therefore agree to floating-point
+reduction tolerance; ``tests/test_engine_batch.py`` enforces this on
+fixed-seed grid, random, and sparse networks.  The one deliberate
+exception is the distributed pipeline's *multi-problem* orchestration:
+its batched path phases residual-trim refits after all first fits
+instead of interleaving them per map, so it consumes perturbation
+randomness in a different order and agrees with the scalar loop to
+solver tolerance instead (``tests/test_distributed.py``).  The scalar
+paths stay in the tree precisely to keep these contracts testable.
 """
 
 from .batch import (
     batch_gradient_descent,
     batch_lss_descend,
+    batch_lss_descend_padded,
     batch_lss_error,
+    batch_lss_error_padded,
     batch_lss_gradient,
+    batch_lss_gradient_padded,
     consistency_filter_fast,
     lss_localize_multistart,
     solve_multilateration_batch,
 )
 from .campaign import CampaignResult, TrialRecord, run_monte_carlo
+from .localmaps import LocalLssProblem, LocalLssSolution, solve_local_lss_stack
 from .scheduler import (
     ConfidenceStop,
     ScheduledCampaignResult,
@@ -73,11 +91,17 @@ from .scheduler import (
 __all__ = [
     "batch_gradient_descent",
     "batch_lss_descend",
+    "batch_lss_descend_padded",
     "batch_lss_error",
+    "batch_lss_error_padded",
     "batch_lss_gradient",
+    "batch_lss_gradient_padded",
     "consistency_filter_fast",
     "lss_localize_multistart",
     "solve_multilateration_batch",
+    "LocalLssProblem",
+    "LocalLssSolution",
+    "solve_local_lss_stack",
     "CampaignResult",
     "TrialRecord",
     "run_monte_carlo",

@@ -11,13 +11,29 @@ batched kernel                        scalar reference
 :func:`batch_lss_error`               ``lss.lss_error``
 :func:`batch_lss_gradient`            ``lss.lss_gradient``
 :func:`batch_lss_descend`             ``lss._descend_scalar``
+:func:`batch_lss_error_padded`        ``lss.lss_error`` (per problem)
+:func:`batch_lss_gradient_padded`     ``lss.lss_gradient`` (per problem)
+:func:`batch_lss_descend_padded`      ``lss._descend_scalar`` (per problem)
 ====================================  =====================================
+
+Two stacking layouts coexist.  The *shared-edge* kernels
+(:func:`batch_lss_error` et al.) advance ``(n_configs, n_nodes, 2)``
+configurations of **one** problem — the same node count and edge list
+for every batch entry — and back multi-seed/multi-restart campaigns.
+The *padded* kernels (``*_padded``) stack **heterogeneous** problems:
+each batch entry has its own node count, edge list, and constraint set,
+padded to the batch maxima with zero-weight edge slots and masked
+constraint slots, so every padded slot contributes exact zeros to the
+objective and gradient.  This is the layout the distributed-LSS
+pipeline (paper Section 4.3, Figures 24/25) uses to solve every node's
+local-map problem for a refinement round in one descent loop.
 
 The parity contract (same per-problem operations, in the same order,
 with padded slots contributing exact zeros) is what makes the
-equivalence tests in ``tests/test_engine_batch.py`` meaningful: a
-batched result may differ from the scalar one only by floating-point
-reduction error, never by algorithm.
+equivalence tests in ``tests/test_engine_batch.py`` and
+``tests/test_distributed.py`` meaningful: a batched result may differ
+from the scalar one only by floating-point reduction error, never by
+algorithm.
 """
 
 from __future__ import annotations
@@ -32,8 +48,11 @@ from ..errors import ValidationError
 __all__ = [
     "batch_gradient_descent",
     "batch_lss_descend",
+    "batch_lss_descend_padded",
     "batch_lss_error",
+    "batch_lss_error_padded",
     "batch_lss_gradient",
+    "batch_lss_gradient_padded",
     "consistency_filter_fast",
     "lss_localize_multistart",
     "solve_multilateration_batch",
@@ -630,6 +649,407 @@ def batch_lss_descend(
         if not active.any():
             break
     return pts_t.transpose(1, 0, 2), current, converged
+
+
+# ---------------------------------------------------------------------------
+# Padded heterogeneous LSS (Section 4.3's local maps)
+# ---------------------------------------------------------------------------
+
+
+def _require_constraint_mask(constraint_pairs, constraint_valid) -> None:
+    """Padded constraint stacks are meaningless without their mask.
+
+    A padded ``(0, 0)`` constraint pair has distance zero — a maximal
+    "violation" — so silently treating an omitted mask as all-valid (or
+    worse, as all-invalid) would corrupt the objective.  Force callers
+    to be explicit.
+    """
+    if constraint_pairs is not None and constraint_valid is None:
+        raise ValidationError(
+            "constraint_valid is required when constraint_pairs are given "
+            "(padded slots must be masked explicitly)"
+        )
+
+
+def _flat_endpoints(
+    index_pairs: np.ndarray, n_nodes: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Flatten ``(B, E, 2)`` endpoint pairs into ``(B*N)``-space indices.
+
+    Gathering through one flat advanced index on the ``(B*N, 2)`` view
+    of the configuration stack is measurably cheaper per epoch than a
+    broadcasted two-axis fancy index, and the same flat indices drive
+    the bincount scatter.
+    """
+    base = np.arange(index_pairs.shape[0], dtype=np.int64)[:, None] * n_nodes
+    return base + index_pairs[..., 0], base + index_pairs[..., 1]
+
+
+def _lss_error_flat(
+    flat_pts: np.ndarray,
+    fi: np.ndarray,
+    fj: np.ndarray,
+    dists: np.ndarray,
+    weights: np.ndarray,
+    cfi: Optional[np.ndarray],
+    cfj: Optional[np.ndarray],
+    constraint_valid: Optional[np.ndarray],
+    min_spacing_m: Optional[float],
+    constraint_weight: float,
+) -> np.ndarray:
+    """Objective on the flat ``(B*N, 2)`` view; ``fi``/``fj`` are (B, E)."""
+    diff = flat_pts[fi] - flat_pts[fj]
+    comp = np.hypot(diff[..., 0], diff[..., 1])
+    value = np.sum(weights * (comp - dists) ** 2, axis=1)
+    if cfi is not None:
+        cdiff = flat_pts[cfi] - flat_pts[cfj]
+        ccomp = np.hypot(cdiff[..., 0], cdiff[..., 1])
+        violation = np.minimum(ccomp, min_spacing_m) - min_spacing_m
+        # Padded constraint slots reference node 0 twice (distance 0 =
+        # maximal "violation"), so they MUST be masked out explicitly.
+        violation = np.where(constraint_valid, violation, 0.0)
+        value = value + constraint_weight * np.sum(violation**2, axis=1)
+    return value
+
+
+def _lss_error_padded(
+    pts: np.ndarray,
+    pairs: np.ndarray,
+    dists: np.ndarray,
+    weights: np.ndarray,
+    constraint_pairs: Optional[np.ndarray],
+    constraint_valid: Optional[np.ndarray],
+    min_spacing_m: Optional[float],
+    constraint_weight: float,
+) -> np.ndarray:
+    """Objective on the padded batch-major ``(B, N, 2)`` layout."""
+    n_nodes = pts.shape[1]
+    fi, fj = _flat_endpoints(pairs, n_nodes)
+    cfi = cfj = None
+    if (
+        min_spacing_m is not None
+        and constraint_pairs is not None
+        and constraint_pairs.size
+    ):
+        cfi, cfj = _flat_endpoints(constraint_pairs, n_nodes)
+    else:
+        constraint_valid = None
+    return _lss_error_flat(
+        np.ascontiguousarray(pts).reshape(-1, 2),
+        fi,
+        fj,
+        dists,
+        weights,
+        cfi,
+        cfj,
+        constraint_valid,
+        min_spacing_m,
+        constraint_weight,
+    )
+
+
+def batch_lss_error_padded(
+    configs: np.ndarray,
+    pairs: np.ndarray,
+    dists: np.ndarray,
+    weights: np.ndarray,
+    *,
+    constraint_pairs: Optional[np.ndarray] = None,
+    constraint_valid: Optional[np.ndarray] = None,
+    min_spacing_m: Optional[float] = None,
+    constraint_weight: float = 10.0,
+) -> np.ndarray:
+    """LSS objective for a batch of *heterogeneous* problems, shape (B,).
+
+    Parameters
+    ----------
+    configs : ndarray of shape (B, N, 2)
+        Stacked configurations; problem ``b`` uses rows ``0..n_b`` and
+        the rest is padding (never referenced by real edges).
+    pairs : ndarray of int, shape (B, E, 2)
+        Per-problem edge endpoints in local indices; padded rows may
+        point anywhere valid (conventionally ``(0, 0)``).
+    dists, weights : ndarray of shape (B, E)
+        Measured distances and weights; padded slots carry zero weight
+        (and zero distance), so they contribute exactly ``0.0``.
+    constraint_pairs : ndarray of int, shape (B, C, 2), optional
+        Per-problem soft-constraint pairs (unmeasured pairs closer than
+        ``min_spacing_m`` are penalized, Section 4.2's folding fix).
+    constraint_valid : ndarray of bool, shape (B, C), optional
+        Mask of real constraint slots; required when constraints are
+        padded, because a padded ``(0, 0)`` pair has distance zero and
+        would otherwise register as a maximal violation.
+
+    Per problem this is the same reduction as
+    :func:`repro.core.lss.lss_error` on the unpadded edge list.
+    """
+    pts = np.asarray(configs, dtype=float)
+    _require_constraint_mask(constraint_pairs, constraint_valid)
+    return _lss_error_padded(
+        pts,
+        np.asarray(pairs),
+        np.asarray(dists, dtype=float),
+        np.asarray(weights, dtype=float),
+        constraint_pairs,
+        constraint_valid,
+        min_spacing_m,
+        constraint_weight,
+    )
+
+
+def _scatter_flat(
+    flat_grad: np.ndarray,
+    scatter_idx: np.ndarray,
+    contrib: np.ndarray,
+) -> None:
+    """Accumulate ``[+contrib, -contrib]`` rows at flat *scatter_idx*.
+
+    ``scatter_idx`` is the precomputed concatenation of the ``i`` and
+    ``j`` flat endpoints; a ``np.bincount`` per coordinate is
+    substantially faster than ``np.add.at`` on the many-small-problems
+    stacks this layout exists for.
+    """
+    size = flat_grad.shape[0]
+    flat_contrib = contrib.reshape(-1, 2)
+    signed_x = np.concatenate([flat_contrib[:, 0], -flat_contrib[:, 0]])
+    signed_y = np.concatenate([flat_contrib[:, 1], -flat_contrib[:, 1]])
+    flat_grad[:, 0] += np.bincount(scatter_idx, weights=signed_x, minlength=size)
+    flat_grad[:, 1] += np.bincount(scatter_idx, weights=signed_y, minlength=size)
+
+
+def _lss_gradient_flat(
+    flat_pts: np.ndarray,
+    fi: np.ndarray,
+    fj: np.ndarray,
+    edge_scatter: np.ndarray,
+    dists: np.ndarray,
+    weights: np.ndarray,
+    cfi: Optional[np.ndarray],
+    cfj: Optional[np.ndarray],
+    constraint_scatter: Optional[np.ndarray],
+    constraint_valid: Optional[np.ndarray],
+    min_spacing_m: Optional[float],
+    constraint_weight: float,
+) -> np.ndarray:
+    """Gradient on the flat ``(B*N, 2)`` view.
+
+    ``edge_scatter``/``constraint_scatter`` are the precomputed
+    ``concatenate([fi.ravel(), fj.ravel()])`` index vectors (rebuilt
+    only when the working batch is compacted).
+    """
+    grad = np.zeros_like(flat_pts)
+    diff = flat_pts[fi] - flat_pts[fj]
+    comp = np.hypot(diff[..., 0], diff[..., 1])
+    safe = np.maximum(comp, 1e-12)
+    coeff = (2.0 * weights) * (comp - dists) / safe
+    _scatter_flat(grad, edge_scatter, coeff[..., None] * diff)
+
+    if cfi is not None:
+        cdiff = flat_pts[cfi] - flat_pts[cfj]
+        ccomp = np.hypot(cdiff[..., 0], cdiff[..., 1])
+        vcomp = np.maximum(ccomp, 1e-12)
+        vcoeff = 2.0 * constraint_weight * (vcomp - min_spacing_m) / vcomp
+        # Only violated real pairs exert force; padded slots are masked.
+        active = (ccomp < min_spacing_m) & constraint_valid
+        vcoeff = np.where(active, vcoeff, 0.0)
+        _scatter_flat(grad, constraint_scatter, vcoeff[..., None] * cdiff)
+    return grad
+
+
+def _lss_gradient_padded(
+    pts: np.ndarray,
+    pairs: np.ndarray,
+    dists: np.ndarray,
+    weights: np.ndarray,
+    constraint_pairs: Optional[np.ndarray],
+    constraint_valid: Optional[np.ndarray],
+    min_spacing_m: Optional[float],
+    constraint_weight: float,
+) -> np.ndarray:
+    """Gradient on the padded batch-major ``(B, N, 2)`` layout."""
+    shape = pts.shape
+    n_nodes = shape[1]
+    fi, fj = _flat_endpoints(pairs, n_nodes)
+    edge_scatter = np.concatenate([fi.ravel(), fj.ravel()])
+    cfi = cfj = constraint_scatter = None
+    if (
+        min_spacing_m is not None
+        and constraint_pairs is not None
+        and constraint_pairs.size
+    ):
+        cfi, cfj = _flat_endpoints(constraint_pairs, n_nodes)
+        constraint_scatter = np.concatenate([cfi.ravel(), cfj.ravel()])
+    else:
+        constraint_valid = None
+    flat_grad = _lss_gradient_flat(
+        np.ascontiguousarray(pts).reshape(-1, 2),
+        fi,
+        fj,
+        edge_scatter,
+        dists,
+        weights,
+        cfi,
+        cfj,
+        constraint_scatter,
+        constraint_valid,
+        min_spacing_m,
+        constraint_weight,
+    )
+    return flat_grad.reshape(shape)
+
+
+def batch_lss_gradient_padded(
+    configs: np.ndarray,
+    pairs: np.ndarray,
+    dists: np.ndarray,
+    weights: np.ndarray,
+    *,
+    constraint_pairs: Optional[np.ndarray] = None,
+    constraint_valid: Optional[np.ndarray] = None,
+    min_spacing_m: Optional[float] = None,
+    constraint_weight: float = 10.0,
+) -> np.ndarray:
+    """Gradient of the heterogeneous LSS objective, shape (B, N, 2).
+
+    See :func:`batch_lss_error_padded` for the layout.  Padded edge
+    slots carry zero weight, so rows beyond each problem's real node
+    count receive an exact zero gradient and never move.
+    """
+    pts = np.asarray(configs, dtype=float)
+    _require_constraint_mask(constraint_pairs, constraint_valid)
+    return _lss_gradient_padded(
+        pts,
+        np.asarray(pairs),
+        np.asarray(dists, dtype=float),
+        np.asarray(weights, dtype=float),
+        constraint_pairs,
+        constraint_valid,
+        min_spacing_m,
+        constraint_weight,
+    )
+
+
+def batch_lss_descend_padded(
+    configs: np.ndarray,
+    pairs: np.ndarray,
+    dists: np.ndarray,
+    weights: np.ndarray,
+    *,
+    constraint_pairs: Optional[np.ndarray] = None,
+    constraint_valid: Optional[np.ndarray] = None,
+    min_spacing_m: Optional[float] = None,
+    constraint_weight: float = 10.0,
+    step_size: float = 0.02,
+    max_epochs: int = 2000,
+    tolerance: float = 1e-7,
+    momentum: float = 0.9,
+    patience: int = 50,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One momentum-descent round over a batch of heterogeneous problems.
+
+    The padded sibling of :func:`batch_lss_descend`: each problem
+    follows the identical accept/reject schedule of the scalar round
+    (``repro.core.lss._descend_scalar``: x1.05 step on improvement, /2
+    with momentum reset on overshoot, early stop after *patience*
+    stalled epochs or step underflow) on its own adaptive step size.
+    Finished problems freeze while the rest keep descending.
+
+    Returns ``(configs (B, N, 2), errors (B,), converged (B,))``.
+    Finished problems are compacted out of the working batch (the same
+    straggler treatment as :func:`batch_gradient_descent`), so a few
+    slow neighborhoods do not drag the whole stack's per-epoch cost.
+    """
+    pts = np.array(configs, dtype=float)
+    total, n_nodes = pts.shape[:2]
+    pts_out = pts.copy()
+    err_out = np.empty(total)
+    conv_out = np.zeros(total, dtype=bool)
+    if total == 0:
+        return pts_out, err_out, conv_out
+
+    _require_constraint_mask(constraint_pairs, constraint_valid)
+    has_constraints = (
+        min_spacing_m is not None
+        and constraint_pairs is not None
+        and np.asarray(constraint_pairs).size
+    )
+    cpairs = np.asarray(constraint_pairs) if has_constraints else None
+    cvalid = np.asarray(constraint_valid) if has_constraints else None
+
+    def flatten(pair_stack):
+        fi, fj = _flat_endpoints(pair_stack, n_nodes)
+        return fi, fj, np.concatenate([fi.ravel(), fj.ravel()])
+
+    fi, fj, edge_scatter = flatten(pairs)
+    cfi = cfj = constraint_scatter = None
+    if has_constraints:
+        cfi, cfj, constraint_scatter = flatten(cpairs)
+
+    remaining = np.arange(total)
+    flat_pts = pts.reshape(-1, 2)
+    current = _lss_error_flat(
+        flat_pts, fi, fj, dists, weights, cfi, cfj, cvalid,
+        min_spacing_m, constraint_weight,
+    )
+    err_out[:] = current
+    alpha = np.full(total, float(step_size))
+    velocity = np.zeros_like(pts)
+    stall = np.zeros(total, dtype=np.int64)
+
+    for _ in range(max_epochs):
+        flat_grad = _lss_gradient_flat(
+            flat_pts, fi, fj, edge_scatter, dists, weights,
+            cfi, cfj, constraint_scatter, cvalid,
+            min_spacing_m, constraint_weight,
+        )
+        velocity = momentum * velocity - alpha[:, None, None] * flat_grad.reshape(
+            pts.shape
+        )
+        candidate = pts + velocity
+        value = _lss_error_flat(
+            candidate.reshape(-1, 2), fi, fj, dists, weights, cfi, cfj, cvalid,
+            min_spacing_m, constraint_weight,
+        )
+        improvement = (current - value) / np.maximum(current, 1e-12)
+        improved = value < current
+        rejected = ~improved
+
+        np.copyto(pts, candidate, where=improved[:, None, None])
+        np.copyto(current, value, where=improved)
+        # Overshoot kills the momentum (scalar rule).
+        np.copyto(velocity, 0.0, where=rejected[:, None, None])
+        alpha *= np.where(improved, 1.05, 0.5)
+        stall += rejected | (improved & (improvement < tolerance))
+        np.copyto(stall, 0, where=improved & (improvement >= tolerance))
+
+        finished = (rejected & (alpha < 1e-14)) | (stall >= patience)
+        if finished.any():
+            done_idx = remaining[finished]
+            pts_out[done_idx] = pts[finished]
+            err_out[done_idx] = current[finished]
+            conv_out[done_idx] = True
+            keep = ~finished
+            if not keep.any():
+                return pts_out, err_out, conv_out
+            remaining = remaining[keep]
+            pts = np.ascontiguousarray(pts[keep])
+            current = current[keep]
+            alpha = alpha[keep]
+            velocity = np.ascontiguousarray(velocity[keep])
+            stall = stall[keep]
+            pairs = pairs[keep]
+            dists = dists[keep]
+            weights = weights[keep]
+            fi, fj, edge_scatter = flatten(pairs)
+            if has_constraints:
+                cpairs = cpairs[keep]
+                cvalid = cvalid[keep]
+                cfi, cfj, constraint_scatter = flatten(cpairs)
+        flat_pts = pts.reshape(-1, 2)
+
+    pts_out[remaining] = pts
+    err_out[remaining] = current
+    return pts_out, err_out, conv_out
 
 
 def lss_localize_multistart(

@@ -1,0 +1,225 @@
+"""Stacked execution of heterogeneous local-map LSS problems.
+
+The distributed localization pipeline (paper Section 4.3) runs one
+small LSS minimization per node — its one-hop neighborhood in local
+relative coordinates — and then stitches the resulting local maps with
+rigid transforms.  The scalar reference path
+(:func:`repro.core.distributed.build_local_maps` with
+``solver="scalar"``) solves those neighborhoods one at a time; this
+module is the batched twin: every local map of a refinement round is
+padded into the ``(n_problems, max_nodes, 2)`` masked stacks of
+:func:`repro.engine.batch.batch_lss_descend_padded` and all problems
+advance through each perturbation-restart round in one vectorized
+descent loop.
+
+Semantics per problem mirror :func:`repro.core.lss.lss_localize` with
+the ``"gd"`` backend: multiplicative step adaptation with heavy-ball
+momentum, Gaussian perturbation restarts from the best configuration so
+far, and the paper's soft minimum-spacing constraint over unmeasured
+pairs.  Randomness is consumed from the supplied generator in
+*problem-major* order (problem 0's initialization and all of its
+restart perturbations are drawn before problem 1's), the same order the
+scalar loop consumes it, so a batched run is deterministic given the
+generator state.  Because the scalar path interleaves each map's
+residual-trim refit draws with the next map's fit draws while the
+batched path phases them (all fits, then all refits), the two paths see
+different perturbation noise and agree to solver tolerance rather than
+bit-for-bit; ``tests/test_distributed.py`` pins that agreement.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .._validation import ensure_rng
+from ..errors import ValidationError
+from .batch import batch_lss_descend_padded, batch_lss_error_padded
+
+__all__ = ["LocalLssProblem", "LocalLssSolution", "solve_local_lss_stack"]
+
+
+@dataclass(frozen=True)
+class LocalLssProblem:
+    """One local-map LSS problem in local node indices.
+
+    Attributes
+    ----------
+    n_nodes : int
+        Number of nodes in this neighborhood (local ids ``0..n-1``).
+    edges : EdgeList
+        Range measurements between local ids.
+    initial : ndarray of shape (n_nodes, 2), optional
+        Starting configuration (e.g. an MDS-MAP embedding); a random
+        uniform draw is used when omitted.
+    """
+
+    n_nodes: int
+    edges: "object"
+    initial: Optional[np.ndarray] = None
+
+
+@dataclass
+class LocalLssSolution:
+    """Solution of one stacked local-map problem.
+
+    ``positions`` is the best configuration found (local relative
+    coordinates, ``(n_nodes, 2)``); ``error`` the full objective
+    including constraint terms; ``stress`` the measurement-only term;
+    ``converged`` whether the final restart round hit its tolerance.
+    """
+
+    positions: np.ndarray
+    error: float
+    stress: float
+    converged: bool
+
+
+def solve_local_lss_stack(
+    problems: Sequence[LocalLssProblem],
+    *,
+    config=None,
+    rng=None,
+) -> List[LocalLssSolution]:
+    """Solve a batch of variable-size LSS problems in lockstep.
+
+    Each problem keeps its own node count, edge list, soft-constraint
+    set, and adaptive step-size trajectory; the batch is padded to the
+    largest neighborhood with zero-weight edge slots and masked
+    constraint slots (exact-zero contributions, see
+    :mod:`repro.engine.batch`).  All problems advance through
+    ``config.restarts`` perturbation rounds together; per round the
+    whole stack runs one :func:`batch_lss_descend_padded` call.
+
+    Returns one :class:`LocalLssSolution` per problem, in order.
+    """
+    from ..core.lss import LssConfig, _constraint_pairs
+
+    config = config if config is not None else LssConfig()
+    if config.backend not in ("gd", "gd-scalar"):
+        raise ValidationError(
+            "solve_local_lss_stack supports only gradient-descent backends; "
+            f"got {config.backend!r}"
+        )
+    rng = ensure_rng(rng)
+    n_problems = len(problems)
+    if n_problems == 0:
+        return []
+
+    sizes = [int(p.n_nodes) for p in problems]
+    for k, problem in enumerate(problems):
+        if len(problem.edges) == 0:
+            raise ValidationError(f"problem {k} has no measurements")
+        if np.any(problem.edges.pairs < 0) or np.any(problem.edges.pairs >= sizes[k]):
+            raise ValidationError(f"problem {k} has edge indices outside [0, n_nodes)")
+
+    constraints: List[Optional[np.ndarray]] = [None] * n_problems
+    if config.min_spacing_m is not None:
+        constraints = [
+            _constraint_pairs(sizes[k], problems[k].edges.pairs)
+            for k in range(n_problems)
+        ]
+
+    # Problem-major RNG consumption (see module docstring): draw each
+    # problem's initialization and restart perturbations before moving
+    # to the next problem's.
+    initials: List[np.ndarray] = []
+    perturbations: List[List[np.ndarray]] = []
+    for k, problem in enumerate(problems):
+        if problem.initial is not None:
+            init = np.asarray(problem.initial, dtype=float)
+            if init.shape != (sizes[k], 2):
+                raise ValidationError(
+                    f"problem {k} initial must have shape ({sizes[k]}, 2); "
+                    f"got {init.shape}"
+                )
+            init = init.copy()
+        else:
+            span = config.init_span_m
+            if span is None:
+                span = max(
+                    1.0,
+                    float(np.median(problem.edges.distances)) * math.sqrt(sizes[k]),
+                )
+            init = rng.uniform(0.0, span, size=(sizes[k], 2))
+        initials.append(init)
+        perturbations.append(
+            [
+                rng.normal(0.0, config.perturbation_m, size=(sizes[k], 2))
+                for _ in range(config.restarts - 1)
+            ]
+        )
+
+    # Pad the stack: zero-weight edge slots and masked constraint slots
+    # contribute exact zeros, so each padded problem is numerically the
+    # unpadded one.
+    max_nodes = max(sizes)
+    max_edges = max(len(p.edges) for p in problems)
+    pairs = np.zeros((n_problems, max_edges, 2), dtype=np.int64)
+    dists = np.zeros((n_problems, max_edges))
+    weights = np.zeros((n_problems, max_edges))
+    for k, problem in enumerate(problems):
+        n_edges = len(problem.edges)
+        pairs[k, :n_edges] = problem.edges.pairs
+        dists[k, :n_edges] = problem.edges.distances
+        weights[k, :n_edges] = problem.edges.weights
+
+    constraint_pairs = None
+    constraint_valid = None
+    if config.min_spacing_m is not None:
+        max_constraints = max(c.shape[0] for c in constraints)
+        if max_constraints > 0:
+            constraint_pairs = np.zeros(
+                (n_problems, max_constraints, 2), dtype=np.int64
+            )
+            constraint_valid = np.zeros((n_problems, max_constraints), dtype=bool)
+            for k, c in enumerate(constraints):
+                constraint_pairs[k, : c.shape[0]] = c
+                constraint_valid[k, : c.shape[0]] = True
+
+    kwargs = dict(
+        constraint_pairs=constraint_pairs,
+        constraint_valid=constraint_valid,
+        min_spacing_m=config.min_spacing_m,
+        constraint_weight=config.constraint_weight,
+    )
+
+    best = np.zeros((n_problems, max_nodes, 2))
+    for k, init in enumerate(initials):
+        best[k, : sizes[k]] = init
+    best_error = batch_lss_error_padded(best, pairs, dists, weights, **kwargs)
+    converged = np.zeros(n_problems, dtype=bool)
+    for round_index in range(config.restarts):
+        if round_index == 0:
+            seed_pts = best.copy()
+        else:
+            seed_pts = best.copy()
+            for k in range(n_problems):
+                seed_pts[k, : sizes[k]] += perturbations[k][round_index - 1]
+        out_pts, out_error, converged = batch_lss_descend_padded(
+            seed_pts,
+            pairs,
+            dists,
+            weights,
+            step_size=config.step_size,
+            max_epochs=config.max_epochs,
+            tolerance=config.tolerance,
+            **kwargs,
+        )
+        better = out_error < best_error
+        best = np.where(better[:, None, None], out_pts, best)
+        best_error = np.where(better, out_error, best_error)
+
+    stress = batch_lss_error_padded(best, pairs, dists, weights)
+    return [
+        LocalLssSolution(
+            positions=best[k, : sizes[k]].copy(),
+            error=float(best_error[k]),
+            stress=float(stress[k]),
+            converged=bool(converged[k]),
+        )
+        for k in range(n_problems)
+    ]

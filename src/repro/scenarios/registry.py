@@ -8,8 +8,9 @@ launched by name (``python -m repro run town-multilateration``), swept
 The built-ins cover the paper's evaluation geometries (the offset grass
 grid, the random town) plus the synthetic workload family the scaling
 roadmap calls for: density extremes, noise extremes, anchor-starved and
-anchor-rich regimes, anchor-free LSS, the DV-hop baseline, and the full
-signal-level acoustic campaigns on several ground covers.
+anchor-rich regimes, anchor-free centralized LSS, the distributed-LSS
+pipeline (Section 4.3) on towns and grids, the DV-hop baseline, and the
+full signal-level acoustic campaigns on several ground covers.
 """
 
 from __future__ import annotations
@@ -86,6 +87,39 @@ register_scenario(
         ranging=RangingSpec(model="gaussian", max_range_m=22.0, sigma_m=0.33),
         solver=SolverSpec(
             algorithm="lss", min_spacing_m=6.0, restarts=4, max_epochs=800
+        ),
+        n_trials=8,
+    )
+)
+
+#: Distributed LSS on random street-grid towns (Section 4.3 run as a
+#: population): per-node local maps through the engine's stacked
+#: kernels, stitched with batched rigid transforms, flooded from the
+#: node nearest the deployment centroid.
+register_scenario(
+    ScenarioSpec(
+        scenario_id="town-distributed-lss",
+        deployment=DeploymentSpec(kind="town", n_nodes=49, min_separation_m=6.0),
+        anchors=AnchorSpec(strategy="none"),
+        ranging=RangingSpec(model="gaussian", max_range_m=22.0, sigma_m=0.33),
+        solver=SolverSpec(
+            algorithm="distributed-lss", min_spacing_m=6.0, restarts=3, max_epochs=400
+        ),
+        n_trials=8,
+    )
+)
+
+#: The distributed pipeline's easy regime: a regular grid dense enough
+#: that every local map is well-conditioned (the Fig. 25 recovery
+#: story, synthetic-range edition).
+register_scenario(
+    ScenarioSpec(
+        scenario_id="grid-distributed-lss",
+        deployment=DeploymentSpec(kind="grid", n_nodes=36, spacing_m=10.0),
+        anchors=AnchorSpec(strategy="none"),
+        ranging=RangingSpec(model="gaussian", max_range_m=16.0, sigma_m=0.33),
+        solver=SolverSpec(
+            algorithm="distributed-lss", min_spacing_m=10.0, restarts=3, max_epochs=400
         ),
         n_trials=8,
     )

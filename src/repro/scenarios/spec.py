@@ -29,6 +29,18 @@ dotted-path parameter axes::
 
 yields four concrete specs whose ids record their coordinates, ready to
 feed the campaign scheduler one by one.
+
+Paper mapping
+-------------
+The spec fields parameterize the paper's evaluation directly:
+:class:`DeploymentSpec` covers its geometries ("paper-grid" is the
+offset grass grid of Figures 13-19, "town"/"uniform" the randomized
+fields of Figures 20-22, "parking-lot" the small-scale Figure 12
+layout); :class:`RangingSpec` selects between the full signal-level
+acoustic campaign of Section 3 and the synthetic Gaussian extension
+model; and :class:`SolverSpec` names the algorithms of Section 4 —
+"multilateration" (4.1), "lss" (4.2), "distributed-lss" (4.3,
+Figures 24/25), and the "dv-hop" baseline of Section 2.
 """
 
 from __future__ import annotations
@@ -61,7 +73,10 @@ ANCHOR_STRATEGIES = ("random", "spread", "boundary", "none")
 RANGING_MODELS = ("gaussian", "acoustic")
 
 #: Localization algorithms a :class:`SolverSpec` may name.
-ALGORITHMS = ("multilateration", "lss", "dv-hop")
+ALGORITHMS = ("multilateration", "lss", "distributed-lss", "dv-hop")
+
+#: Algorithms that run without anchors (relative-coordinate output).
+ANCHOR_FREE_ALGORITHMS = ("lss", "distributed-lss")
 
 
 @dataclass(frozen=True)
@@ -174,8 +189,10 @@ class SolverSpec:
     """Which localization algorithm runs, and how.
 
     ``backend`` is normalized per algorithm at construction ("dv-hop"
-    maps the generic "gradient" default to its native "lm" solver), so
-    two specs describing the same physics always hash identically.
+    maps the generic "gradient" default to its native "lm" solver;
+    "distributed-lss" maps it to the engine's "batched" path, with
+    "scalar" selecting the per-problem reference), so two specs
+    describing the same physics always hash identically.
     """
 
     algorithm: str = "multilateration"
@@ -192,6 +209,14 @@ class SolverSpec:
             )
         if self.algorithm == "dv-hop" and self.backend == "gradient":
             object.__setattr__(self, "backend", "lm")
+        if self.algorithm == "distributed-lss":
+            if self.backend == "gradient":
+                object.__setattr__(self, "backend", "batched")
+            if self.backend not in ("batched", "scalar"):
+                raise ValidationError(
+                    "distributed-lss backend must be 'batched' or 'scalar'; "
+                    f"got {self.backend!r}"
+                )
         if self.restarts < 1:
             raise ValidationError("restarts must be >= 1")
         if self.max_epochs < 1:
@@ -220,9 +245,13 @@ class ScenarioSpec:
             raise ValidationError("scenario_id must be non-empty")
         if self.n_trials < 1:
             raise ValidationError("n_trials must be >= 1")
-        if self.solver.algorithm == "lss" and self.anchors.strategy != "none":
-            raise ValidationError("lss scenarios are anchor-free; use strategy='none'")
-        if self.solver.algorithm != "lss" and self.anchors.strategy == "none":
+        anchor_free = self.solver.algorithm in ANCHOR_FREE_ALGORITHMS
+        if anchor_free and self.anchors.strategy != "none":
+            raise ValidationError(
+                f"{self.solver.algorithm} scenarios are anchor-free; "
+                "use strategy='none'"
+            )
+        if not anchor_free and self.anchors.strategy == "none":
             raise ValidationError(
                 f"{self.solver.algorithm} scenarios need anchors; got strategy='none'"
             )

@@ -21,8 +21,16 @@ from typing import Dict
 
 import numpy as np
 
-from ..core import LssConfig, evaluate_localization, localize_network, lss_localize
+from ..core import (
+    DistributedConfig,
+    LssConfig,
+    distributed_localize,
+    evaluate_localization,
+    localize_network,
+    lss_localize,
+)
 from ..core.aps import dv_hop_localize
+from ..errors import GraphDisconnectedError, InsufficientDataError
 from ..deploy import (
     boundary_anchors,
     paper_grid,
@@ -112,6 +120,48 @@ def _nan_metrics() -> Dict[str, float]:
     }
 
 
+def _distributed_lss_trial(positions, ranges, spec: ScenarioSpec, rng) -> Dict[str, float]:
+    """One distributed-LSS draw (Section 4.3): local maps, stitch, flood.
+
+    The root is the node nearest the deployment centroid (a stable,
+    spec-independent choice mirroring the paper's central root).  Draws
+    whose root has no local map, or whose measurement graph cannot
+    support the pipeline at all, yield nan metrics so campaigns
+    aggregate rather than crash.
+    """
+    n_nodes = int(positions.shape[0])
+    config = DistributedConfig(
+        local_lss=LssConfig(
+            constraint_weight=spec.solver.constraint_weight,
+            max_epochs=spec.solver.max_epochs,
+            restarts=spec.solver.restarts,
+            perturbation_m=2.0,
+        ),
+        min_spacing_m=spec.solver.min_spacing_m,
+        solver=spec.solver.backend,
+    )
+    centroid = positions.mean(axis=0)
+    root = int(np.argmin(np.hypot(*(positions - centroid).T)))
+    try:
+        result = distributed_localize(ranges, n_nodes, root, config=config, rng=rng)
+    except (InsufficientDataError, GraphDisconnectedError):
+        return {**_nan_metrics(), "n_local_maps": float("nan")}
+    metrics = {
+        "fraction_localized": _fraction(result.localized.sum(), n_nodes),
+        "n_local_maps": float(len(result.local_maps)),
+    }
+    if result.localized.sum() >= 3:
+        report = evaluate_localization(
+            result.positions, positions, localized_mask=result.localized, align=True
+        )
+        metrics["mean_error_m"] = report.average_error
+        metrics["median_error_m"] = report.median_error
+    else:
+        metrics["mean_error_m"] = float("nan")
+        metrics["median_error_m"] = float("nan")
+    return metrics
+
+
 def scenario_trial(rng, *, spec: ScenarioSpec) -> Dict[str, float]:
     """One randomized trial of *spec*: deploy, range, localize, score.
 
@@ -144,6 +194,9 @@ def scenario_trial(rng, *, spec: ScenarioSpec) -> Dict[str, float]:
             "final_objective": result.error,
             "epochs_run": float(result.epochs_run),
         }
+
+    if algorithm == "distributed-lss":
+        return _distributed_lss_trial(positions, ranges, spec, rng)
 
     anchor_positions = {int(i): positions[i] for i in anchor_idx}
     if algorithm == "multilateration":

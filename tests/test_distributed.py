@@ -9,7 +9,7 @@ from repro.core.distributed import (
     build_transforms,
     distributed_localize,
 )
-from repro.core.evaluation import evaluate_localization
+from repro.core.evaluation import align_to_reference, evaluate_localization
 from repro.core.measurements import EdgeList, MeasurementSet
 from repro.deploy import square_grid
 from repro.errors import InsufficientDataError, ValidationError
@@ -211,3 +211,136 @@ class TestDistributedLocalize:
             res_sparse.positions, positions, localized_mask=res_sparse.localized, align=True
         )
         assert rep_dense.average_error < rep_sparse.average_error + 5.0
+
+
+class TestBatchedScalarParity:
+    """The acceptance contract: batched and scalar paths agree.
+
+    The batched path consumes perturbation randomness in a different
+    order than the scalar loop (fits are phased before trim-refits), so
+    agreement is pinned to solver tolerance, not bit-for-bit.
+    """
+
+    def test_solver_validation(self):
+        with pytest.raises(ValidationError):
+            DistributedConfig(solver="vectorized")
+
+    def test_lbfgs_local_backend_falls_back_to_scalar_path(self, grid_scenario):
+        # Non-gradient local backends only exist as scalar
+        # implementations; the batched default must route around them
+        # instead of crashing in the engine.
+        from repro.core.lss import LssConfig
+
+        positions, ranges = grid_scenario
+        config = DistributedConfig(
+            local_lss=LssConfig(backend="lbfgs", restarts=2, max_epochs=200)
+        )
+        maps = build_local_maps(ranges, len(positions), config=config, rng=1)
+        assert set(maps) == set(range(len(positions)))
+
+    def test_local_maps_agree(self, grid_scenario):
+        positions, ranges = grid_scenario
+        scalar_cfg = DistributedConfig(min_spacing_m=10.0, solver="scalar")
+        batched_cfg = DistributedConfig(min_spacing_m=10.0, solver="batched")
+        scalar_maps = build_local_maps(ranges, len(positions), config=scalar_cfg, rng=1)
+        batched_maps = build_local_maps(ranges, len(positions), config=batched_cfg, rng=1)
+        assert set(scalar_maps) == set(batched_maps)
+        for owner in scalar_maps:
+            s, b = scalar_maps[owner], batched_maps[owner]
+            assert s.members == b.members
+            aligned = align_to_reference(b.coords_for(b.members), s.coords_for(s.members))
+            assert np.abs(aligned - s.coords_for(s.members)).max() < 0.2
+
+    def test_transforms_agree(self, grid_scenario):
+        positions, ranges = grid_scenario
+        scalar_cfg = DistributedConfig(solver="scalar")
+        batched_cfg = DistributedConfig(solver="batched")
+        maps = build_local_maps(ranges, len(positions), config=scalar_cfg, rng=1)
+        scalar_t = build_transforms(maps, config=scalar_cfg)
+        batched_t = build_transforms(maps, config=batched_cfg)
+        assert set(scalar_t) == set(batched_t)
+        for key in scalar_t:
+            np.testing.assert_allclose(
+                batched_t[key].matrix, scalar_t[key].matrix, atol=1e-9
+            )
+            assert batched_t[key].reflected == scalar_t[key].reflected
+            assert batched_t[key].n_correspondences == scalar_t[key].n_correspondences
+            assert batched_t[key].error == pytest.approx(scalar_t[key].error, abs=1e-9)
+
+    def test_full_pipeline_agrees(self, grid_scenario):
+        positions, ranges = grid_scenario
+        reports = {}
+        for solver in ("scalar", "batched"):
+            cfg = DistributedConfig(min_spacing_m=10.0, solver=solver)
+            result = distributed_localize(
+                ranges, len(positions), root=5, config=cfg, rng=2
+            )
+            assert result.localized.all()
+            reports[solver] = evaluate_localization(
+                result.positions, positions, localized_mask=result.localized, align=True
+            )
+        assert reports["batched"].average_error == pytest.approx(
+            reports["scalar"].average_error, abs=0.25
+        )
+
+
+class TestPaddingEdgeCases:
+    """Variable-size neighborhoods through the padded batched kernels."""
+
+    @staticmethod
+    def _measurements(positions, pairs):
+        ms = MeasurementSet()
+        for i, j in pairs:
+            d = float(np.hypot(*(positions[i] - positions[j])))
+            ms.add_distance(i, j, d, true_distance=d)
+        return ms
+
+    def test_minimal_neighborhood_padded_alongside_larger(self):
+        # Node 4 hangs off one corner of a well-connected square: its
+        # neighborhood (a 3-node triangle) is the smallest solvable
+        # local map, stacked next to much larger ones.
+        positions = np.array(
+            [[0.0, 0.0], [10.0, 0.0], [0.0, 10.0], [10.0, 10.0], [20.0, 5.0]]
+        )
+        pairs = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (1, 4), (3, 4)]
+        ms = self._measurements(positions, pairs)
+        for solver in ("batched", "scalar"):
+            maps = build_local_maps(
+                ms, 5, config=DistributedConfig(solver=solver), rng=0
+            )
+            assert set(maps) == {0, 1, 2, 3, 4}
+            assert maps[4].members == [1, 3, 4]
+            est = maps[4].coords_for([1, 3])
+            d = float(np.hypot(*(est[0] - est[1])))
+            assert d == pytest.approx(np.hypot(*(positions[1] - positions[3])), abs=0.5)
+
+    def test_node_with_single_neighbor_has_no_map(self):
+        # Node 3 has one neighbor: no local frame of its own, but it
+        # still appears in the triangle owners' maps.
+        positions = np.array([[0.0, 0.0], [10.0, 0.0], [5.0, 8.0], [5.0, -9.0]])
+        ms = self._measurements(positions, [(0, 1), (0, 2), (1, 2), (0, 3)])
+        maps = build_local_maps(ms, 4, config=DistributedConfig(solver="batched"), rng=0)
+        assert 3 not in maps
+        assert 3 in maps[0].coordinates
+
+    def test_fully_disconnected_node(self):
+        positions = np.array([[0.0, 0.0], [10.0, 0.0], [5.0, 8.0], [40.0, 40.0]])
+        ms = self._measurements(positions, [(0, 1), (0, 2), (1, 2)])
+        result = distributed_localize(
+            ms, 4, root=0, config=DistributedConfig(solver="batched"), rng=0
+        )
+        assert result.localized[:3].all()
+        assert not result.localized[3]
+        assert np.isnan(result.positions[3]).all()
+
+    def test_single_map_network(self):
+        # A lone triangle: every node owns the identical 3-member map,
+        # so the batch is three equal-size problems with no padding.
+        positions = np.array([[0.0, 0.0], [10.0, 0.0], [5.0, 8.0]])
+        ms = self._measurements(positions, [(0, 1), (0, 2), (1, 2)])
+        result = distributed_localize(
+            ms, 3, root=0, config=DistributedConfig(solver="batched"), rng=0
+        )
+        assert result.localized.all()
+        report = evaluate_localization(result.positions, positions, align=True)
+        assert report.average_error < 0.5

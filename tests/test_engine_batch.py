@@ -291,3 +291,179 @@ class TestApsParity:
         anchors = {int(i): positions[i] for i in anchor_idx}
         with pytest.raises(ValidationError):
             dv_hop_localize(ranges, anchors, n, min_anchors=2)
+
+
+class TestPaddedLssKernels:
+    """Heterogeneous padded kernels vs the scalar LSS reference."""
+
+    @staticmethod
+    def _random_problems(rng, n_problems=5):
+        from repro.core.measurements import EdgeList
+
+        problems = []
+        for _ in range(n_problems):
+            n = int(rng.integers(4, 9))
+            positions = rng.uniform(0.0, 20.0, size=(n, 2))
+            iu = np.triu_indices(n, k=1)
+            pairs = np.stack(iu, axis=1)
+            keep = rng.random(pairs.shape[0]) < 0.7
+            if keep.sum() < 3:
+                keep[:3] = True
+            pairs = pairs[keep]
+            diff = positions[pairs[:, 0]] - positions[pairs[:, 1]]
+            dists = np.hypot(diff[:, 0], diff[:, 1]) + rng.normal(0, 0.1, len(pairs))
+            weights = rng.choice([0.5, 1.0], size=len(pairs))
+            edges = EdgeList(
+                pairs=pairs.astype(np.int64), distances=dists, weights=weights
+            )
+            problems.append((n, edges, rng.uniform(0.0, 20.0, size=(n, 2))))
+        return problems
+
+    @staticmethod
+    def _pad(problems, min_spacing_m=None):
+        from repro.core.lss import _constraint_pairs
+
+        B = len(problems)
+        N = max(p[0] for p in problems)
+        E = max(len(p[1]) for p in problems)
+        pts = np.zeros((B, N, 2))
+        pairs = np.zeros((B, E, 2), dtype=np.int64)
+        dists = np.zeros((B, E))
+        weights = np.zeros((B, E))
+        cpairs = cvalid = None
+        if min_spacing_m is not None:
+            constraints = [_constraint_pairs(n, e.pairs) for n, e, _ in problems]
+            C = max(c.shape[0] for c in constraints)
+            cpairs = np.zeros((B, C, 2), dtype=np.int64)
+            cvalid = np.zeros((B, C), dtype=bool)
+            for b, c in enumerate(constraints):
+                cpairs[b, : c.shape[0]] = c
+                cvalid[b, : c.shape[0]] = True
+        for b, (n, edges, initial) in enumerate(problems):
+            pts[b, :n] = initial
+            pairs[b, : len(edges)] = edges.pairs
+            dists[b, : len(edges)] = edges.distances
+            weights[b, : len(edges)] = edges.weights
+        return pts, pairs, dists, weights, cpairs, cvalid
+
+    @pytest.mark.parametrize("min_spacing_m", [None, 6.0])
+    def test_padded_error_and_gradient_match_scalar(self, min_spacing_m):
+        from repro.core.lss import _constraint_pairs, lss_error, lss_gradient
+        from repro.engine.batch import (
+            batch_lss_error_padded,
+            batch_lss_gradient_padded,
+        )
+
+        rng = np.random.default_rng(11)
+        problems = self._random_problems(rng)
+        pts, pairs, dists, weights, cpairs, cvalid = self._pad(
+            problems, min_spacing_m
+        )
+        errors = batch_lss_error_padded(
+            pts, pairs, dists, weights,
+            constraint_pairs=cpairs, constraint_valid=cvalid,
+            min_spacing_m=min_spacing_m,
+        )
+        grads = batch_lss_gradient_padded(
+            pts, pairs, dists, weights,
+            constraint_pairs=cpairs, constraint_valid=cvalid,
+            min_spacing_m=min_spacing_m,
+        )
+        for b, (n, edges, initial) in enumerate(problems):
+            constraints = (
+                _constraint_pairs(n, edges.pairs) if min_spacing_m is not None else None
+            )
+            expected_error = lss_error(
+                initial, edges,
+                constraint_pairs=constraints, min_spacing_m=min_spacing_m,
+            )
+            expected_grad = lss_gradient(
+                initial, edges,
+                constraint_pairs=constraints, min_spacing_m=min_spacing_m,
+            )
+            assert errors[b] == pytest.approx(expected_error, rel=1e-12)
+            np.testing.assert_allclose(grads[b, :n], expected_grad, atol=1e-9)
+            # Padded node rows beyond each problem feel zero force.
+            assert np.all(grads[b, n:] == 0.0)
+
+    def test_padded_descend_matches_batch_of_one(self):
+        from repro.engine.batch import batch_lss_descend, batch_lss_descend_padded
+
+        rng = np.random.default_rng(5)
+        problems = self._random_problems(rng, n_problems=3)
+        pts, pairs, dists, weights, _, _ = self._pad(problems)
+        out, errors, converged = batch_lss_descend_padded(
+            pts, pairs, dists, weights, step_size=0.02, max_epochs=300,
+            tolerance=1e-7,
+        )
+        for b, (n, edges, initial) in enumerate(problems):
+            single, single_err, single_conv = batch_lss_descend(
+                initial[None, :, :], edges, None,
+                min_spacing_m=None, constraint_weight=0.0, step_size=0.02,
+                max_epochs=300, tolerance=1e-7,
+                free_mask=np.ones(n, dtype=bool),
+            )
+            assert errors[b] == pytest.approx(float(single_err[0]), rel=1e-6)
+            np.testing.assert_allclose(out[b, :n], single[0], atol=1e-4)
+            assert bool(converged[b]) == bool(single_conv[0])
+
+    def test_solve_local_lss_stack_matches_sequential_lss(self):
+        from repro.core import LssConfig, lss_localize
+        from repro.engine.localmaps import LocalLssProblem, solve_local_lss_stack
+
+        rng = np.random.default_rng(3)
+        problems = self._random_problems(rng, n_problems=4)
+        config = LssConfig(restarts=2, max_epochs=300)
+        stack = [
+            LocalLssProblem(n_nodes=n, edges=edges, initial=initial)
+            for n, edges, initial in problems
+        ]
+        solutions = solve_local_lss_stack(stack, config=config, rng=7)
+        # Same initial + same per-problem restart draws consumed in the
+        # same (problem-major) order: the sequential reference is
+        # lss_localize per problem sharing one generator.
+        reference_rng = np.random.default_rng(7)
+        for (n, edges, initial), solution in zip(problems, solutions):
+            expected = lss_localize(
+                edges, n, config=config, initial=initial, rng=reference_rng
+            )
+            assert solution.error == pytest.approx(expected.error, rel=1e-5)
+            np.testing.assert_allclose(
+                solution.positions, expected.positions, atol=1e-3
+            )
+
+    def test_constraint_pairs_without_mask_rejected(self):
+        from repro.engine.batch import (
+            batch_lss_descend_padded,
+            batch_lss_error_padded,
+            batch_lss_gradient_padded,
+        )
+
+        rng = np.random.default_rng(2)
+        problems = self._random_problems(rng, n_problems=2)
+        pts, pairs, dists, weights, cpairs, _ = self._pad(problems, min_spacing_m=6.0)
+        for kernel in (
+            batch_lss_error_padded,
+            batch_lss_gradient_padded,
+            batch_lss_descend_padded,
+        ):
+            with pytest.raises(ValidationError, match="constraint_valid"):
+                kernel(
+                    pts, pairs, dists, weights,
+                    constraint_pairs=cpairs, min_spacing_m=6.0,
+                )
+
+    def test_stack_validates_inputs(self):
+        from repro.core.measurements import EdgeList
+        from repro.engine.localmaps import LocalLssProblem, solve_local_lss_stack
+
+        assert solve_local_lss_stack([], rng=0) == []
+        bad = LocalLssProblem(
+            n_nodes=2,
+            edges=EdgeList(
+                pairs=np.array([[0, 5]]), distances=np.array([1.0]),
+                weights=np.array([1.0]),
+            ),
+        )
+        with pytest.raises(ValidationError):
+            solve_local_lss_stack([bad], rng=0)

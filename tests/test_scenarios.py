@@ -223,6 +223,48 @@ class TestScenarioTrial:
         assert metrics["fraction_localized"] == 1.0
         assert metrics["epochs_run"] > 0
 
+    def test_distributed_lss_trial_path(self):
+        spec = ScenarioSpec(
+            scenario_id="dlss-small",
+            deployment=DeploymentSpec(kind="grid", n_nodes=16, spacing_m=10.0),
+            anchors=AnchorSpec(strategy="none", fraction=None, count=None),
+            ranging=RangingSpec(model="gaussian", max_range_m=16.0, sigma_m=0.2),
+            solver=SolverSpec(
+                algorithm="distributed-lss", min_spacing_m=10.0, restarts=2,
+                max_epochs=300,
+            ),
+            n_trials=1,
+        )
+        metrics = scenario_trial(np.random.default_rng(4), spec=spec)
+        assert metrics["fraction_localized"] == 1.0
+        assert metrics["n_local_maps"] == 16.0
+        assert metrics["mean_error_m"] < 2.0
+
+    def test_distributed_lss_backend_normalized(self):
+        spec = SolverSpec(algorithm="distributed-lss")
+        assert spec.backend == "batched"
+        scalar = SolverSpec(algorithm="distributed-lss", backend="scalar")
+        assert scalar.backend == "scalar"
+        with pytest.raises(ValidationError):
+            SolverSpec(algorithm="distributed-lss", backend="lm")
+
+    def test_distributed_lss_degenerate_draw_yields_nan(self):
+        # Too sparse to build any local map at the root: nan metrics,
+        # no crash (the campaign aggregation contract).
+        spec = ScenarioSpec(
+            scenario_id="dlss-degenerate",
+            deployment=DeploymentSpec(
+                kind="uniform", n_nodes=6, width_m=200.0, height_m=200.0,
+                min_separation_m=40.0,
+            ),
+            anchors=AnchorSpec(strategy="none", fraction=None, count=None),
+            ranging=RangingSpec(model="gaussian", max_range_m=10.0, sigma_m=0.2),
+            solver=SolverSpec(algorithm="distributed-lss"),
+            n_trials=1,
+        )
+        metrics = scenario_trial(np.random.default_rng(0), spec=spec)
+        assert np.isnan(metrics["mean_error_m"])
+
     def test_deployment_kinds_produce_expected_counts(self):
         rng = np.random.default_rng(0)
         for kind, n in [("uniform", 9), ("grid", 9), ("paper-grid", 47), ("town", 12)]:

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links resolve to real files.
+
+Usage: python tools/check_docs.py README.md docs/architecture.md ...
+
+Scans each markdown file for ``[text](target)`` links, skips external
+targets (http/https/mailto) and pure anchors, strips ``#fragment``
+suffixes from the rest, and verifies the target exists relative to the
+linking file.  Exits non-zero listing every broken link.  Used by the
+CI docs job and ``tests/test_docs.py``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def broken_links(path: Path) -> list:
+    """Return (target, reason) pairs for unresolvable links in *path*."""
+    problems = []
+    text = path.read_text(encoding="utf-8")
+    for target in LINK_RE.findall(text):
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        if not (path.parent / relative).exists():
+            problems.append((target, f"{path}: missing {relative}"))
+    return problems
+
+
+def main(argv) -> int:
+    if not argv:
+        print("usage: check_docs.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    failures = []
+    for name in argv:
+        path = Path(name)
+        if not path.exists():
+            failures.append((name, f"{name}: file does not exist"))
+            continue
+        failures.extend(broken_links(path))
+    for _, reason in failures:
+        print(f"BROKEN LINK: {reason}", file=sys.stderr)
+    if not failures:
+        print(f"ok: {len(argv)} file(s), all relative links resolve")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
