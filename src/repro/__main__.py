@@ -3,12 +3,18 @@
 Subcommands
 -----------
 ``list``
-    Registered experiment drivers and scenario specs.
+    Registered experiment drivers and scenario specs, plus the shard
+    status of any in-flight sharded campaigns found in the store.
 ``run <id>``
     Run one experiment (paper figure / extension claim) or one scenario
     campaign by id.  Scenario runs honor ``--workers``, the result store
-    (``--store DIR`` / ``--no-store`` / ``--no-cache``), and optional
-    adaptive early stopping (``--adaptive``).
+    (``--store DIR`` / ``--no-store`` / ``--no-cache``), optional
+    adaptive early stopping (``--adaptive``), and cross-host sharding
+    (``--shard K/N``).  Experiment runs accept only ``--seed``; passing
+    a scenario-only flag with an experiment id is an error.
+``merge <id>``
+    Merge an N-shard campaign's published shard entries into the
+    canonical full-campaign store entry.
 
 Examples::
 
@@ -16,6 +22,8 @@ Examples::
     python -m repro run fig18 --seed 7
     python -m repro run town-multilateration --workers 4 --trials 32
     python -m repro run uniform-multilateration --adaptive --tolerance 0.1
+    python -m repro run town-multilateration --shard 2/3
+    python -m repro merge town-multilateration --shards 3
 """
 
 from __future__ import annotations
@@ -25,12 +33,52 @@ import sys
 from typing import Optional
 
 from .engine.scheduler import ConfidenceStop, ScheduledCampaignResult
+from .engine.sharding import ShardSpec
+from .errors import ValidationError
 from .experiments import all_experiments, get_experiment
-from .scenarios import all_scenarios, get_scenario, run_scenario
+from .scenarios import (
+    all_scenarios,
+    get_scenario,
+    merge_scenario_shards,
+    run_scenario,
+    run_scenario_shard,
+    scenario_run_key,
+    scenario_shard_status,
+)
 from .store import ResultStore, default_store_root
 
+#: Flags only meaningful for scenario campaigns (flag, argparse attr).
+#: An experiment run that sets any of them gets a clear usage error
+#: instead of a silently ignored flag; defaults are read back from the
+#: ``run`` subparser so this table cannot drift from the definitions.
+_SCENARIO_ONLY_FLAGS = (
+    ("--workers", "workers"),
+    ("--trials", "trials"),
+    ("--store", "store"),
+    ("--no-store", "no_store"),
+    ("--no-cache", "no_cache"),
+    ("--adaptive", "adaptive"),
+    ("--metric", "metric"),
+    ("--tolerance", "tolerance"),
+    ("--shard", "shard"),
+)
 
-def _build_parser() -> argparse.ArgumentParser:
+
+def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="result store directory (default: $REPRO_STORE_DIR or ~/.cache/repro/store)",
+    )
+    parser.add_argument(
+        "--no-store", action="store_true", help="disable the result store entirely"
+    )
+
+
+def _build_parser():
+    """The top-level parser and the ``run`` subparser (returned so flag
+    validation can read argparse defaults back instead of copying them)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Kwon et al. (ICDCS 2005) reproduction: experiments, "
@@ -38,7 +86,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list registered experiments and scenarios")
+    list_parser = sub.add_parser(
+        "list", help="list registered experiments, scenarios, and shard status"
+    )
+    _add_store_arguments(list_parser)
 
     run = sub.add_parser("run", help="run an experiment or scenario by id")
     run.add_argument("id", help="experiment id (fig18, ext-sweep, ...) or scenario id")
@@ -49,15 +100,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--trials", type=int, default=None, help="trial budget override (scenarios only)"
     )
-    run.add_argument(
-        "--store",
-        default=None,
-        metavar="DIR",
-        help="result store directory (default: $REPRO_STORE_DIR or ~/.cache/repro/store)",
-    )
-    run.add_argument(
-        "--no-store", action="store_true", help="disable the result store entirely"
-    )
+    _add_store_arguments(run)
     run.add_argument(
         "--no-cache",
         action="store_true",
@@ -79,10 +122,105 @@ def _build_parser() -> argparse.ArgumentParser:
         default=0.1,
         help="CI half-width tolerance for --adaptive (default: 0.1)",
     )
-    return parser
+    run.add_argument(
+        "--shard",
+        default=None,
+        metavar="K/N",
+        help="run only shard K of an N-way cross-host split (e.g. 2/3); "
+        "requires the result store and a fixed trial count",
+    )
+
+    merge = sub.add_parser(
+        "merge",
+        help="merge an N-shard campaign's store entries into the canonical entry",
+    )
+    merge.add_argument("id", help="scenario id the shards were run under")
+    merge.add_argument("--seed", type=int, default=None, help="master seed")
+    merge.add_argument(
+        "--trials", type=int, default=None, help="trial budget override"
+    )
+    merge.add_argument(
+        "--shards",
+        type=int,
+        required=True,
+        metavar="N",
+        help="total shard count of the split being merged",
+    )
+    _add_store_arguments(merge)
+    return parser, run
 
 
-def _cmd_list() -> int:
+def _shard_status_lines(store: ResultStore) -> list:
+    """Group the store's shard entries into campaigns and render one
+    status line per campaign (complete campaigns are not listed — their
+    canonical entry has been published and they no longer need merging).
+
+    The code version is part of the grouping key: shards published by a
+    different repro version live under keys the current merge path can
+    never address, so pooling them with current-version shards would
+    misreport completeness.  Stale groups are flagged instead.
+    """
+    groups = {}
+    for meta in store.list_shards():
+        shard = meta.get("shard", {})
+        context = meta.get("context", {})
+        group = (
+            str(context.get("scenario_id", "?")),
+            str(context.get("spec_hash", ""))[:12],
+            str(context.get("code_version", "?")),
+            meta.get("master_seed"),
+            meta.get("campaign_trials"),
+            shard.get("n_shards"),
+        )
+        groups.setdefault(group, set()).add(shard.get("index"))
+    lines = []
+    for (scenario_id, spec_hash, code_version, seed, trials, n_shards), present in sorted(
+        groups.items(), key=lambda item: item[0]
+    ):
+        if n_shards is None:
+            continue
+        missing = sorted(set(range(n_shards)) - present)
+        if not missing:
+            # All shards present — hidden only once the canonical merged
+            # entry actually exists.  A crash between the last shard's
+            # publish and the auto-merge, or shard entries copied in from
+            # per-host stores, leaves the campaign complete but unmerged
+            # — exactly the case the `merge` command recovers.
+            if code_version != store.code_version:
+                continue  # stale keys the current merge path cannot address
+            try:
+                spec = get_scenario(scenario_id)
+            except KeyError:
+                continue
+            if spec.spec_hash()[:12] != spec_hash or seed is None or trials is None:
+                continue
+            canonical = store.key_for(
+                scenario_run_key(spec, master_seed=seed, n_trials=trials)
+            )
+            if store.contains(canonical):
+                continue
+            lines.append(
+                f"  {scenario_id:<28s} [{spec_hash}] seed={seed} trials={trials}: "
+                f"all {n_shards} shards present, unmerged (run "
+                f"`python -m repro merge {scenario_id} --seed {seed} "
+                f"--trials {trials} --shards {n_shards}`)"
+            )
+            continue
+        missing_text = ", ".join(f"{k + 1}/{n_shards}" for k in missing)
+        stale = (
+            ""
+            if code_version == store.code_version
+            else f" [stale code version {code_version}]"
+        )
+        lines.append(
+            f"  {scenario_id:<28s} [{spec_hash}] seed={seed} trials={trials}: "
+            f"{len(present)}/{n_shards} shards present (missing {missing_text})"
+            f"{stale}"
+        )
+    return lines
+
+
+def _cmd_list(args) -> int:
     experiments = all_experiments()
     scenarios = all_scenarios()
     print(f"experiments ({len(experiments)}):")
@@ -98,6 +236,14 @@ def _cmd_list() -> int:
             f"{spec.ranging.model} ranging, {spec.n_trials} trials "
             f"[{spec.spec_hash()[:12]}]"
         )
+    store = _open_store(args)
+    if store is not None:
+        lines = _shard_status_lines(store)
+        if lines:
+            print(f"\nincomplete sharded campaigns ({len(lines)}):")
+            for line in lines:
+                print(line)
+            print("  (run the missing shards, or `python -m repro merge <id>`)")
     return 0
 
 
@@ -110,12 +256,25 @@ def _open_store(args) -> Optional[ResultStore]:
     return None if root is None else ResultStore(root)
 
 
-def _cmd_run(args) -> int:
+def _cmd_run(args, run_parser) -> int:
     experiments = all_experiments()
     scenarios = all_scenarios()
     if args.id in experiments:
         from .experiments import DEFAULT_SEED
 
+        offending = [
+            flag
+            for flag, attr in _SCENARIO_ONLY_FLAGS
+            if getattr(args, attr) != run_parser.get_default(attr)
+        ]
+        if offending:
+            print(
+                f"{args.id!r} is an experiment id; {', '.join(offending)} "
+                f"only appl{'ies' if len(offending) == 1 else 'y'} to scenario "
+                f"campaigns (experiments accept --seed alone)",
+                file=sys.stderr,
+            )
+            return 2
         seed = DEFAULT_SEED if args.seed is None else args.seed
         result = get_experiment(args.id)(seed)
         print(result.summary())
@@ -123,6 +282,8 @@ def _cmd_run(args) -> int:
     if args.id in scenarios:
         spec = get_scenario(args.id)
         store = _open_store(args)
+        if args.shard is not None:
+            return _run_scenario_shard(args, spec, store)
         stopping = None
         if args.adaptive:
             stopping = ConfidenceStop(metric=args.metric, tolerance=args.tolerance)
@@ -150,11 +311,109 @@ def _cmd_run(args) -> int:
     return 2
 
 
+def _run_scenario_shard(args, spec, store: Optional[ResultStore]) -> int:
+    if args.adaptive:
+        print(
+            "--shard cannot combine with --adaptive: the stopping rule "
+            "needs the global record prefix no shard can see",
+            file=sys.stderr,
+        )
+        return 2
+    if store is None:
+        print(
+            "--shard requires a result store (the cross-host exchange "
+            "point); drop --no-store or pass --store DIR",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        shard = ShardSpec.parse(args.shard)
+    except ValidationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    master_seed = 0 if args.seed is None else args.seed
+    try:
+        shard_result, merged = run_scenario_shard(
+            spec,
+            shard,
+            master_seed=master_seed,
+            n_trials=args.trials,
+            n_workers=args.workers,
+            store=store,
+            use_cache=not args.no_cache,
+        )
+    except ValidationError as exc:
+        # e.g. more shards than trials: no non-empty contiguous split.
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(f"scenario: {spec.scenario_id} [{spec.spec_hash()[:12]}]")
+    print(shard_result.describe())
+    print(shard_result.summary())
+    if merged is not None:
+        print(
+            f"merge: all {shard.n_shards} shards present; canonical "
+            f"campaign entry published ({merged.n_trials} trials)"
+        )
+    else:
+        status = scenario_shard_status(
+            spec,
+            master_seed=master_seed,
+            n_trials=args.trials,
+            n_shards=shard.n_shards,
+            store=store,
+        )
+        missing = [s.cli_form for s, present in status if not present]
+        print(f"merge: waiting on shards {', '.join(missing)}")
+    print(f"store: {store.root} {store.stats.as_dict()}")
+    return 0
+
+
+def _cmd_merge(args) -> int:
+    scenarios = all_scenarios()
+    if args.id not in scenarios:
+        hint = (
+            " (an experiment id — only scenario campaigns shard)"
+            if args.id in all_experiments()
+            else ""
+        )
+        print(f"unknown scenario id {args.id!r}{hint}", file=sys.stderr)
+        return 2
+    if args.shards < 1:
+        print("--shards must be >= 1", file=sys.stderr)
+        return 2
+    store = _open_store(args)
+    if store is None:
+        print("merge requires a result store; pass --store DIR", file=sys.stderr)
+        return 2
+    spec = get_scenario(args.id)
+    try:
+        merged = merge_scenario_shards(
+            spec,
+            master_seed=0 if args.seed is None else args.seed,
+            n_trials=args.trials,
+            n_shards=args.shards,
+            store=store,
+        )
+    except ValidationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    print(f"scenario: {spec.scenario_id} [{spec.spec_hash()[:12]}]")
+    print(
+        f"merge: {args.shards} shards -> canonical campaign entry published"
+    )
+    print(merged.summary())
+    print(f"store: {store.root} {store.stats.as_dict()}")
+    return 0
+
+
 def main(argv=None) -> int:
-    args = _build_parser().parse_args(argv)
+    parser, run_parser = _build_parser()
+    args = parser.parse_args(argv)
     if args.command == "list":
-        return _cmd_list()
-    return _cmd_run(args)
+        return _cmd_list(args)
+    if args.command == "merge":
+        return _cmd_merge(args)
+    return _cmd_run(args, run_parser)
 
 
 if __name__ == "__main__":

@@ -87,6 +87,14 @@ from .scheduler import (
     resolve_chunk_size,
     run_adaptive,
 )
+from .sharding import (
+    ShardCampaignResult,
+    ShardSpec,
+    merge_shards,
+    plan_shards,
+    run_campaign_shard,
+    shard_bounds,
+)
 
 __all__ = [
     "batch_gradient_descent",
@@ -109,4 +117,10 @@ __all__ = [
     "ScheduledCampaignResult",
     "resolve_chunk_size",
     "run_adaptive",
+    "ShardSpec",
+    "ShardCampaignResult",
+    "plan_shards",
+    "shard_bounds",
+    "run_campaign_shard",
+    "merge_shards",
 ]

@@ -150,6 +150,29 @@ def _execute_trial(payload) -> TrialRecord:
     )
 
 
+def _execute_payloads(
+    payloads, n_workers: int, mp_context: Optional[str]
+) -> list:
+    """Run trial payloads inline (``n_workers == 1``) or over a pool.
+
+    The single execution path for both the full campaign runner and the
+    shard runner (:mod:`repro.engine.sharding`): worker fan-out, start-
+    method fallback, and pool chunking live here once, so the two paths
+    cannot drift apart.
+    """
+    if n_workers < 1:
+        raise ValidationError("n_workers must be >= 1")
+    if n_workers == 1:
+        return [_execute_trial(payload) for payload in payloads]
+    if mp_context is None:
+        methods = multiprocessing.get_all_start_methods()
+        mp_context = "fork" if "fork" in methods else "spawn"
+    ctx = multiprocessing.get_context(mp_context)
+    chunksize = max(1, len(payloads) // (4 * n_workers))
+    with ctx.Pool(processes=n_workers) as pool:
+        return pool.map(_execute_trial, payloads, chunksize=chunksize)
+
+
 def run_monte_carlo(
     trial_fn: Callable[..., Mapping[str, float]],
     n_trials: int,
@@ -181,20 +204,8 @@ def run_monte_carlo(
     """
     if n_trials < 1:
         raise ValidationError("n_trials must be >= 1")
-    if n_workers < 1:
-        raise ValidationError("n_workers must be >= 1")
     kwargs = dict(trial_kwargs or {})
     children = np.random.SeedSequence(master_seed).spawn(n_trials)
     payloads = [(trial_fn, i, children[i], kwargs) for i in range(n_trials)]
-
-    if n_workers == 1:
-        records = [_execute_trial(payload) for payload in payloads]
-    else:
-        if mp_context is None:
-            methods = multiprocessing.get_all_start_methods()
-            mp_context = "fork" if "fork" in methods else "spawn"
-        ctx = multiprocessing.get_context(mp_context)
-        chunksize = max(1, n_trials // (4 * n_workers))
-        with ctx.Pool(processes=n_workers) as pool:
-            records = pool.map(_execute_trial, payloads, chunksize=chunksize)
+    records = _execute_payloads(payloads, n_workers, mp_context)
     return CampaignResult(master_seed=int(master_seed), records=tuple(records))

@@ -42,6 +42,7 @@ from __future__ import annotations
 import math
 import multiprocessing
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Callable, List, Mapping, Optional, Tuple
 
 import numpy as np
@@ -55,6 +56,19 @@ __all__ = [
     "resolve_chunk_size",
     "run_adaptive",
 ]
+
+
+@lru_cache(maxsize=None)
+def _normal_quantile(confidence: float) -> float:
+    """Two-sided normal quantile for *confidence*, computed once.
+
+    The stopping rule evaluates at every chunk boundary; without the
+    cache each evaluation re-imported ``scipy.stats`` and re-ran
+    ``norm.ppf`` for the same handful of confidence levels.
+    """
+    from scipy.stats import norm
+
+    return float(norm.ppf(0.5 * (1.0 + confidence)))
 
 
 def resolve_chunk_size(stopping: "ConfidenceStop", chunk_size: Optional[int]) -> int:
@@ -105,10 +119,8 @@ class ConfidenceStop:
             raise ValidationError("min_trials must be >= 2")
 
     def z_value(self) -> float:
-        """Two-sided normal quantile for the confidence level."""
-        from scipy.stats import norm
-
-        return float(norm.ppf(0.5 * (1.0 + self.confidence)))
+        """Two-sided normal quantile for the confidence level (cached)."""
+        return _normal_quantile(self.confidence)
 
     def half_width(self, values: np.ndarray) -> float:
         """CI half-width of the mean over the finite entries of *values*

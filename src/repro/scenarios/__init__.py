@@ -11,7 +11,15 @@ the early-stopping scheduler, memoized by content address.
 """
 
 from .registry import all_scenarios, get_scenario, register_scenario
-from .runner import run_scenario, run_scenario_by_id, scenario_run_key
+from .runner import (
+    merge_scenario_shards,
+    run_scenario,
+    run_scenario_by_id,
+    run_scenario_shard,
+    scenario_run_key,
+    scenario_shard_key,
+    scenario_shard_status,
+)
 from .spec import (
     AnchorSpec,
     DeploymentSpec,
@@ -38,5 +46,9 @@ __all__ = [
     "select_anchors",
     "run_scenario",
     "run_scenario_by_id",
+    "run_scenario_shard",
     "scenario_run_key",
+    "scenario_shard_key",
+    "scenario_shard_status",
+    "merge_scenario_shards",
 ]

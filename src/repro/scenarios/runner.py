@@ -8,20 +8,54 @@ given), memoized in a :class:`repro.store.ResultStore` keyed on the
 spec's content hash, the master seed, and the scheduling mode.  A cache
 hit reconstructs the campaign bit-identically from disk and does zero
 simulation work.
+
+Cross-host sharding
+-------------------
+A fixed-count campaign can be split across hosts: ``shard=ShardSpec(k,
+N)`` runs only shard *k*'s contiguous trial range and publishes it under
+a shard-addressed key (:func:`scenario_shard_key`).  The store is the
+exchange point — once all N shard entries exist, the shards are merged
+(automatically by whichever host publishes last, or explicitly via
+:func:`merge_scenario_shards` / ``python -m repro merge``) into the
+canonical full-campaign entry, byte-identical to the entry a single-host
+:func:`run_scenario` would have published (``tests/test_sharding.py``).
+Sharding requires a fixed trial count; it cannot combine with adaptive
+early stopping, whose rule needs the global record prefix.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..engine.campaign import CampaignResult, run_monte_carlo
 from ..engine.scheduler import ConfidenceStop, resolve_chunk_size, run_adaptive
-from ..store import ResultStore, campaign_from_payload, campaign_to_payload
+from ..engine.sharding import (
+    ShardCampaignResult,
+    ShardSpec,
+    merge_shards,
+    run_campaign_shard,
+)
+from ..errors import ValidationError
+from ..store import (
+    ResultStore,
+    campaign_from_payload,
+    campaign_to_payload,
+    shard_from_payload,
+    shard_to_payload,
+)
 from .registry import get_scenario
 from .spec import ScenarioSpec
 from .trial import scenario_trial
 
-__all__ = ["run_scenario", "run_scenario_by_id", "scenario_run_key"]
+__all__ = [
+    "run_scenario",
+    "run_scenario_by_id",
+    "scenario_run_key",
+    "scenario_shard_key",
+    "run_scenario_shard",
+    "scenario_shard_status",
+    "merge_scenario_shards",
+]
 
 
 def scenario_run_key(
@@ -56,6 +90,27 @@ def scenario_run_key(
     }
 
 
+def scenario_shard_key(
+    spec: ScenarioSpec,
+    *,
+    master_seed: int,
+    n_trials: int,
+    shard: ShardSpec,
+) -> Dict[str, Any]:
+    """The canonical description one shard's records are cached under.
+
+    The base fixed-count :func:`scenario_run_key` plus the shard
+    descriptor — so shard entries can never collide with (or be mistaken
+    for) the canonical full-campaign entry, and every host derives the
+    same key from the same ``(spec, seed, budget, K/N)``.
+    """
+    return {
+        "workload": "scenario-campaign-shard",
+        "base": scenario_run_key(spec, master_seed=master_seed, n_trials=n_trials),
+        "shard": shard.describe(),
+    }
+
+
 def run_scenario(
     spec: ScenarioSpec,
     *,
@@ -67,6 +122,7 @@ def run_scenario(
     store: Optional[ResultStore] = None,
     use_cache: bool = True,
     mp_context: Optional[str] = None,
+    shard: Optional[ShardSpec] = None,
 ) -> CampaignResult:
     """Run (or recall) one scenario campaign.
 
@@ -86,7 +142,29 @@ def run_scenario(
     use_cache : bool
         ``False`` skips the lookup but still publishes (a forced
         recompute that heals the cache).
+    shard : ShardSpec, optional
+        Run only this shard of the fixed-count campaign (see
+        :func:`run_scenario_shard`, which this delegates to); mutually
+        exclusive with ``stopping``.
     """
+    if shard is not None:
+        if stopping is not None:
+            raise ValidationError(
+                "sharding requires a fixed trial count; it cannot combine "
+                "with adaptive early stopping (the stopping rule is a "
+                "function of the global record prefix no shard can see)"
+            )
+        result, _ = run_scenario_shard(
+            spec,
+            shard,
+            master_seed=master_seed,
+            n_trials=n_trials,
+            n_workers=n_workers,
+            store=store,
+            use_cache=use_cache,
+            mp_context=mp_context,
+        )
+        return result
     budget = int(spec.n_trials if n_trials is None else n_trials)
     key = None
     if store is not None:
@@ -128,6 +206,181 @@ def run_scenario(
     if store is not None and key is not None:
         store.put(key, campaign_to_payload(result))
     return result
+
+
+def _shard_context(spec: ScenarioSpec, store: ResultStore) -> Dict[str, Any]:
+    """Display metadata embedded in shard payloads so store scans
+    (``ResultStore.list_shards``, the CLI status listing) can group
+    shard entries into campaigns without knowing any keys.  The code
+    version is included so shards published by different repro versions
+    — which live under different keys and can never merge together —
+    are never pooled into one campaign by the status listing."""
+    return {
+        "scenario_id": spec.scenario_id,
+        "spec_hash": spec.spec_hash(),
+        "code_version": store.code_version,
+    }
+
+
+def run_scenario_shard(
+    spec: ScenarioSpec,
+    shard: ShardSpec,
+    *,
+    master_seed: int = 0,
+    n_trials: Optional[int] = None,
+    n_workers: int = 1,
+    store: Optional[ResultStore] = None,
+    use_cache: bool = True,
+    mp_context: Optional[str] = None,
+    auto_merge: bool = True,
+) -> Tuple[ShardCampaignResult, Optional[CampaignResult]]:
+    """Run (or recall) one shard of a scenario campaign on this host.
+
+    Executes only *shard*'s contiguous trial range — trial *i* still
+    draws child *i* of ``SeedSequence(master_seed)``, so shards need no
+    coordination — and publishes the shard payload under
+    :func:`scenario_shard_key`.  With ``auto_merge`` (the default) and a
+    store, the completeness probe runs after publication: when this was
+    the last missing shard, the canonical full-campaign entry is merged
+    and published immediately.
+
+    Returns ``(shard_result, merged)`` where ``merged`` is the full
+    :class:`CampaignResult` if the campaign became (or already was)
+    complete, else ``None``.
+    """
+    budget = int(spec.n_trials if n_trials is None else n_trials)
+    key = None
+    shard_result: Optional[ShardCampaignResult] = None
+    if store is not None:
+        key = store.key_for(
+            scenario_shard_key(
+                spec, master_seed=master_seed, n_trials=budget, shard=shard
+            )
+        )
+        if use_cache:
+            payload = store.get(key)
+            if payload is not None:
+                shard_result = shard_from_payload(payload)
+    if shard_result is None:
+        shard_result = run_campaign_shard(
+            scenario_trial,
+            budget,
+            shard=shard,
+            master_seed=master_seed,
+            n_workers=n_workers,
+            trial_kwargs={"spec": spec},
+            mp_context=mp_context,
+        )
+        if store is not None and key is not None:
+            store.put(
+                key, shard_to_payload(shard_result, context=_shard_context(spec, store))
+            )
+
+    merged: Optional[CampaignResult] = None
+    if store is not None and auto_merge:
+        # An already-published canonical entry means some earlier run
+        # completed the merge; re-reading it is one small get instead of
+        # loading all N shard payloads and republishing identical bytes.
+        # (--no-cache recomputes the merge too, healing a suspect entry.)
+        if use_cache:
+            canonical = store.get(
+                store.key_for(
+                    scenario_run_key(spec, master_seed=master_seed, n_trials=budget)
+                )
+            )
+            if canonical is not None:
+                merged = campaign_from_payload(canonical)
+        if merged is None:
+            status = scenario_shard_status(
+                spec,
+                master_seed=master_seed,
+                n_trials=budget,
+                n_shards=shard.n_shards,
+                store=store,
+            )
+            if all(present for _, present in status):
+                merged = merge_scenario_shards(
+                    spec,
+                    master_seed=master_seed,
+                    n_trials=budget,
+                    n_shards=shard.n_shards,
+                    store=store,
+                )
+    return shard_result, merged
+
+
+def scenario_shard_status(
+    spec: ScenarioSpec,
+    *,
+    master_seed: int = 0,
+    n_trials: Optional[int] = None,
+    n_shards: int,
+    store: ResultStore,
+) -> List[Tuple[ShardSpec, bool]]:
+    """Which of an N-shard campaign's entries are published.
+
+    Returns ``[(shard, present), ...]`` in shard order — the
+    completeness probe behind auto-merge and the CLI's shard status.
+    """
+    budget = int(spec.n_trials if n_trials is None else n_trials)
+    shards = [ShardSpec(index=index, n_shards=n_shards) for index in range(n_shards)]
+    keys = [
+        store.key_for(
+            scenario_shard_key(
+                spec, master_seed=master_seed, n_trials=budget, shard=shard
+            )
+        )
+        for shard in shards
+    ]
+    missing = set(store.missing_keys(keys))
+    return [(shard, key not in missing) for shard, key in zip(shards, keys)]
+
+
+def merge_scenario_shards(
+    spec: ScenarioSpec,
+    *,
+    master_seed: int = 0,
+    n_trials: Optional[int] = None,
+    n_shards: int,
+    store: ResultStore,
+    publish: bool = True,
+) -> CampaignResult:
+    """Merge an N-shard campaign's store entries into the canonical one.
+
+    Loads every shard payload, validates the partition, concatenates
+    records in trial-index order, and (with ``publish``) publishes the
+    merged campaign under the same :func:`scenario_run_key` a
+    single-host run uses — producing a byte-identical entry.  Raises
+    :class:`ValidationError` naming the missing shards when the set is
+    incomplete.
+    """
+    budget = int(spec.n_trials if n_trials is None else n_trials)
+    shards: List[ShardCampaignResult] = []
+    missing: List[str] = []
+    for index in range(n_shards):
+        shard = ShardSpec(index=index, n_shards=n_shards)
+        key = store.key_for(
+            scenario_shard_key(
+                spec, master_seed=master_seed, n_trials=budget, shard=shard
+            )
+        )
+        payload = store.get(key)
+        if payload is None:
+            missing.append(shard.cli_form)
+        else:
+            shards.append(shard_from_payload(payload))
+    if missing:
+        raise ValidationError(
+            f"cannot merge {spec.scenario_id!r} (seed={master_seed}, "
+            f"trials={budget}): missing shard entries {', '.join(missing)}"
+        )
+    merged = merge_shards(shards)
+    if publish:
+        key = store.key_for(
+            scenario_run_key(spec, master_seed=master_seed, n_trials=budget)
+        )
+        store.put(key, campaign_to_payload(merged))
+    return merged
 
 
 def run_scenario_by_id(scenario_id: str, **kwargs) -> CampaignResult:

@@ -24,6 +24,8 @@ from .serialization import (
     measurement_set_from_payload,
     measurement_set_to_payload,
     records_equal,
+    shard_from_payload,
+    shard_to_payload,
 )
 
 __all__ = [
@@ -40,4 +42,6 @@ __all__ = [
     "measurement_set_from_payload",
     "records_equal",
     "aggregates_equal",
+    "shard_to_payload",
+    "shard_from_payload",
 ]

@@ -62,12 +62,20 @@ def default_code_version() -> str:
 
 def default_store_root() -> Optional[Path]:
     """Default on-disk location: ``$REPRO_STORE_DIR`` if set (``None``
-    when set to "off"/"0"/"none"), else ``~/.cache/repro/store``."""
+    when set to "off"/"0"/"none"), else ``~/.cache/repro/store``.
+
+    An empty (or whitespace-only) value means *unset* — the conventional
+    reading of an empty environment variable — and falls back to the
+    default location; only the documented "off"/"0"/"none" values
+    disable the store.
+    """
     configured = os.environ.get(STORE_ENV_VAR)
     if configured is not None:
-        if configured.strip().lower() in ("off", "0", "none", ""):
+        value = configured.strip()
+        if value.lower() in ("off", "0", "none"):
             return None
-        return Path(configured)
+        if value:
+            return Path(configured)
     return Path.home() / ".cache" / "repro" / "store"
 
 
@@ -153,6 +161,12 @@ class ResultStore:
 
         A corrupt entry (interrupted legacy write, disk damage) counts
         as a miss and is removed so the caller's fresh ``put`` heals it.
+        Removal goes through a guarded rename: a concurrent writer may
+        republish a healthy entry between our failed read and the
+        removal, and a bare ``unlink`` would delete *that* — so the
+        entry is renamed aside first and only deleted once its bytes
+        are re-verified corrupt (a grabbed-but-healthy entry is parsed,
+        restored, and returned as the hit it is).
         """
         path = self.path_for(key)
         try:
@@ -162,14 +176,50 @@ class ResultStore:
             self.stats.misses += 1
             return None
         except (OSError, EOFError, json.JSONDecodeError, UnicodeDecodeError):
-            self.stats.misses += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
-            return None
+            payload = self._quarantine_corrupt(path)
+            if payload is None:
+                self.stats.misses += 1
+                return None
         self.stats.hits += 1
         return payload
+
+    def _quarantine_corrupt(self, path: Path) -> Optional[Dict[str, Any]]:
+        """Remove *path* only if its current bytes really are corrupt.
+
+        Atomically renames the entry aside, re-reads the renamed file,
+        and deletes it only on a confirmed parse failure.  If the rename
+        grabbed a healthy entry (a concurrent ``put`` won the race), the
+        payload is published back under *path* and returned.
+        """
+        quarantine = (
+            path.parent / f".{path.name}.{os.getpid()}.{uuid.uuid4().hex}.quarantine"
+        )
+        try:
+            os.rename(path, quarantine)
+        except OSError:
+            # Entry vanished (another reader healed it) — nothing to do.
+            return None
+        try:
+            try:
+                with gzip.open(quarantine, "rt", encoding="utf-8") as fh:
+                    payload = json.load(fh)
+            except (OSError, EOFError, json.JSONDecodeError, UnicodeDecodeError):
+                return None
+            # Healthy after all: a concurrent writer republished between
+            # our failed read and the rename.  Entries are immutable
+            # values, so restoring these bytes is always correct (and
+            # harmless if yet another writer has already replaced them).
+            try:
+                os.replace(quarantine, path)
+            except OSError:
+                pass
+            return payload
+        finally:
+            if quarantine.exists():
+                try:
+                    quarantine.unlink()
+                except OSError:
+                    pass
 
     def put(self, key: str, payload: Dict[str, Any]) -> Path:
         """Atomically publish *payload* under *key*; returns its path.
@@ -239,6 +289,61 @@ class ResultStore:
                 continue
             for path in sorted(shard.glob("*.json.gz")):
                 yield path
+
+    # ------------------------------------------------------------------
+    # Shard probes
+    # ------------------------------------------------------------------
+
+    def missing_keys(self, keys) -> list:
+        """The subset of *keys* with no published entry (in input order).
+
+        The completeness probe the shard-merge path uses: an N-shard
+        campaign is mergeable exactly when ``missing_keys(shard_keys)``
+        is empty.
+        """
+        return [key for key in keys if not self.contains(key)]
+
+    #: First bytes of every shard payload's canonical serialization:
+    #: ``put`` renders with ``sort_keys=True`` and "campaign_trials" is
+    #: the schema's alphabetically first key (campaign payloads start
+    #: with "master_seed" instead).  Lets the store scan discard
+    #: non-shard entries after a few decompressed bytes.
+    _SHARD_ENTRY_PREFIX = '{"campaign_trials":'
+
+    def list_shards(self) -> list:
+        """Metadata of every ``campaign-shard`` entry in the store.
+
+        Scans all entries and returns, per shard payload, a dict with
+        ``master_seed``, ``campaign_trials``, ``shard`` (index /
+        n_shards), and whatever display ``context`` the publisher
+        attached (scenario id, spec hash) — enough for the CLI to group
+        shard entries into campaigns and report which are incomplete,
+        without knowing any keys in advance.  Unreadable or non-shard
+        entries are skipped; non-shard entries (e.g. large full-campaign
+        payloads) are discarded on a prefix sniff without being
+        decompressed or parsed in full.
+        """
+        out = []
+        for path in self.iter_entries():
+            try:
+                with gzip.open(path, "rt", encoding="utf-8") as fh:
+                    head = fh.read(len(self._SHARD_ENTRY_PREFIX))
+                    if head != self._SHARD_ENTRY_PREFIX:
+                        continue
+                    payload = json.loads(head + fh.read())
+            except (OSError, EOFError, json.JSONDecodeError, UnicodeDecodeError):
+                continue
+            if not isinstance(payload, dict) or payload.get("type") != "campaign-shard":
+                continue
+            out.append(
+                {
+                    "master_seed": payload.get("master_seed"),
+                    "campaign_trials": payload.get("campaign_trials"),
+                    "shard": payload.get("shard", {}),
+                    "context": payload.get("context", {}),
+                }
+            )
+        return out
 
     def __len__(self) -> int:
         return sum(1 for _ in self.iter_entries())

@@ -16,11 +16,14 @@ from .._canonical import canonical_json
 from ..core.measurements import MeasurementSet
 from ..engine.campaign import CampaignResult, TrialRecord
 from ..engine.scheduler import ScheduledCampaignResult
+from ..engine.sharding import ShardCampaignResult, ShardSpec
 from ..errors import ValidationError
 
 __all__ = [
     "campaign_to_payload",
     "campaign_from_payload",
+    "shard_to_payload",
+    "shard_from_payload",
     "measurement_set_to_payload",
     "measurement_set_from_payload",
     "records_equal",
@@ -91,6 +94,55 @@ def campaign_from_payload(payload: Dict[str, Any]) -> CampaignResult:
         converged=bool(scheduler["converged"]),
         stop_reason=str(scheduler["stop_reason"]),
         half_width_trace=tuple(float(h) for h in scheduler["half_width_trace"]),
+    )
+
+
+def shard_to_payload(
+    result: ShardCampaignResult, *, context: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """JSON-safe dict capturing one shard of a campaign exactly.
+
+    ``context`` carries display metadata (scenario id, spec hash, …) so
+    shard entries found in a store are self-describing — the CLI's shard
+    status listing groups on it.  Context never participates in store
+    keys; shard entries are addressed by the run description + shard
+    descriptor instead.
+    """
+    payload: Dict[str, Any] = {
+        "type": "campaign-shard",
+        "master_seed": result.master_seed,
+        "campaign_trials": result.campaign_trials,
+        "shard": result.shard.describe(),
+        "records": [
+            {"index": record.index, "metrics": dict(record.metrics)}
+            for record in result.records
+        ],
+    }
+    if context:
+        payload["context"] = dict(context)
+    return payload
+
+
+def shard_from_payload(payload: Dict[str, Any]) -> ShardCampaignResult:
+    """Rebuild the :class:`ShardCampaignResult` a :func:`shard_to_payload`
+    dict describes."""
+    if payload.get("type") != "campaign-shard":
+        raise ValidationError(
+            f"not a campaign-shard payload: type={payload.get('type')!r}"
+        )
+    shard = payload["shard"]
+    records = tuple(
+        TrialRecord(
+            index=int(entry["index"]),
+            metrics={str(k): float(v) for k, v in entry["metrics"].items()},
+        )
+        for entry in payload["records"]
+    )
+    return ShardCampaignResult(
+        master_seed=int(payload["master_seed"]),
+        records=records,
+        campaign_trials=int(payload["campaign_trials"]),
+        shard=ShardSpec(index=int(shard["index"]), n_shards=int(shard["n_shards"])),
     )
 
 

@@ -3,6 +3,8 @@
 import pytest
 
 from repro.__main__ import main
+from repro.scenarios import get_scenario, scenario_run_key
+from repro.store import ResultStore
 
 
 class TestList:
@@ -101,3 +103,226 @@ class TestRun:
     def test_unknown_id_exits_2(self, capsys):
         assert main(["run", "fig99"]) == 2
         assert "unknown id" in capsys.readouterr().err
+
+
+class TestExperimentFlagValidation:
+    """Regression: scenario-only flags used to be silently ignored for
+    experiment ids; they now exit with a clear usage error."""
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ["--workers", "4"],
+            ["--trials", "8"],
+            ["--adaptive"],
+            ["--no-store"],
+            ["--no-cache"],
+            ["--metric", "median_error_m"],
+            ["--tolerance", "0.5"],
+            ["--shard", "1/2"],
+            ["--workers", "4", "--adaptive"],
+        ],
+    )
+    def test_scenario_only_flags_rejected_for_experiments(self, capsys, flags):
+        assert main(["run", "fig11", *flags]) == 2
+        err = capsys.readouterr().err
+        assert "experiment id" in err
+        assert flags[0] in err
+
+    def test_store_flag_rejected_for_experiments(self, tmp_path, capsys):
+        assert main(["run", "fig11", "--store", str(tmp_path)]) == 2
+        assert "--store" in capsys.readouterr().err
+
+    def test_seed_alone_still_works(self, capsys):
+        assert main(["run", "fig11", "--seed", "2005"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+
+class TestSharding:
+    ARGS = ["uniform-multilateration", "--seed", "3", "--trials", "6"]
+
+    def _run_shard(self, tmp_path, k, n):
+        return main(
+            ["run", *self.ARGS, "--shard", f"{k}/{n}", "--store", str(tmp_path)]
+        )
+
+    def test_shard_run_reports_range_and_pending_merge(self, tmp_path, capsys):
+        assert self._run_shard(tmp_path, 1, 3) == 0
+        out = capsys.readouterr().out
+        assert "shard 1/3: trials [0, 2) of 6" in out
+        assert "merge: waiting on shards 2/3, 3/3" in out
+
+    def test_last_shard_auto_merges_byte_identical_to_single_host(
+        self, tmp_path, capsys
+    ):
+        sharded = tmp_path / "sharded"
+        single = tmp_path / "single"
+        for k in (1, 2, 3):
+            assert self._run_shard(sharded, k, 3) == 0
+        out = capsys.readouterr().out
+        assert "merge: all 3 shards present" in out
+        assert (
+            main(["run", *self.ARGS, "--store", str(single)]) == 0
+        )
+        spec = get_scenario("uniform-multilateration")
+        key = ResultStore(sharded).key_for(
+            scenario_run_key(spec, master_seed=3, n_trials=6)
+        )
+        assert (
+            ResultStore(sharded).path_for(key).read_bytes()
+            == ResultStore(single).path_for(key).read_bytes()
+        )
+
+    def test_merged_entry_serves_plain_run_as_cache_hit(self, tmp_path, capsys):
+        for k in (1, 2, 3):
+            assert self._run_shard(tmp_path, k, 3) == 0
+        capsys.readouterr()
+        assert main(["run", *self.ARGS, "--store", str(tmp_path)]) == 0
+        assert "'hits': 1" in capsys.readouterr().out
+
+    def test_explicit_merge_command(self, tmp_path, capsys):
+        for k in (1, 2):
+            assert self._run_shard(tmp_path, k, 2) == 0
+        capsys.readouterr()
+        code = main(
+            [
+                "merge",
+                *self.ARGS,
+                "--shards",
+                "2",
+                "--store",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "canonical campaign entry published" in out
+        assert "6 trials" in out
+
+    def test_merge_incomplete_exits_1_naming_missing(self, tmp_path, capsys):
+        assert self._run_shard(tmp_path, 1, 3) == 0
+        capsys.readouterr()
+        code = main(
+            ["merge", *self.ARGS, "--shards", "3", "--store", str(tmp_path)]
+        )
+        assert code == 1
+        assert "missing shard entries 2/3, 3/3" in capsys.readouterr().err
+
+    def test_merge_unknown_or_experiment_id_exits_2(self, tmp_path, capsys):
+        assert main(["merge", "nope", "--shards", "2", "--store", str(tmp_path)]) == 2
+        assert "unknown scenario id" in capsys.readouterr().err
+        assert main(["merge", "fig11", "--shards", "2", "--store", str(tmp_path)]) == 2
+        assert "experiment id" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("shard", ["0/3", "4/3", "x/y", "3"])
+    def test_malformed_shard_exits_2(self, tmp_path, capsys, shard):
+        assert (
+            main(
+                ["run", *self.ARGS, "--shard", shard, "--store", str(tmp_path)]
+            )
+            == 2
+        )
+        assert "shard" in capsys.readouterr().err
+
+    def test_shard_with_adaptive_exits_2(self, tmp_path, capsys):
+        code = main(
+            [
+                "run",
+                *self.ARGS,
+                "--shard",
+                "1/2",
+                "--adaptive",
+                "--store",
+                str(tmp_path),
+            ]
+        )
+        assert code == 2
+        assert "--adaptive" in capsys.readouterr().err
+
+    def test_more_shards_than_trials_exits_2(self, tmp_path, capsys):
+        code = main(
+            [
+                "run",
+                "uniform-multilateration",
+                "--trials",
+                "2",
+                "--shard",
+                "1/3",
+                "--store",
+                str(tmp_path),
+            ]
+        )
+        assert code == 2
+        assert "non-empty shards" in capsys.readouterr().err
+
+    def test_shard_without_store_exits_2(self, capsys):
+        assert main(["run", *self.ARGS, "--shard", "1/2", "--no-store"]) == 2
+        assert "result store" in capsys.readouterr().err
+
+    def test_list_shows_incomplete_sharded_campaigns(self, tmp_path, capsys):
+        assert self._run_shard(tmp_path, 2, 3) == 0
+        capsys.readouterr()
+        assert main(["list", "--store", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "incomplete sharded campaigns (1):" in out
+        assert "seed=3 trials=6: 1/3 shards present (missing 1/3, 3/3)" in out
+
+    def test_list_hides_complete_campaigns(self, tmp_path, capsys):
+        for k in (1, 2):
+            assert self._run_shard(tmp_path, k, 2) == 0
+        capsys.readouterr()
+        assert main(["list", "--store", str(tmp_path)]) == 0
+        assert "incomplete sharded campaigns" not in capsys.readouterr().out
+
+    def test_list_reports_complete_but_unmerged_campaigns(self, tmp_path, capsys):
+        """All shards present but no canonical entry (interrupted
+        auto-merge, or shard entries copied in from per-host stores):
+        `list` must point at the merge command, not stay silent."""
+        from repro.engine.sharding import ShardSpec
+        from repro.scenarios import run_scenario_shard
+
+        spec = get_scenario("uniform-multilateration")
+        store = ResultStore(tmp_path)
+        for k in range(2):
+            run_scenario_shard(
+                spec,
+                ShardSpec(index=k, n_shards=2),
+                master_seed=3,
+                n_trials=6,
+                store=store,
+                auto_merge=False,
+            )
+        assert main(["list", "--store", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "all 2 shards present, unmerged" in out
+        # The hint must carry every flag the merge needs, verbatim.
+        assert "merge uniform-multilateration --seed 3 --trials 6 --shards 2" in out
+        assert (
+            main(["merge", *self.ARGS, "--shards", "2", "--store", str(tmp_path)])
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["list", "--store", str(tmp_path)]) == 0
+        assert "unmerged" not in capsys.readouterr().out
+
+    def test_list_does_not_pool_shards_across_code_versions(self, tmp_path):
+        """Shards published under a different code version live under
+        keys the current merge path can never address; grouping them
+        with current-version shards would misreport completeness."""
+        from repro.__main__ import _shard_status_lines
+        from repro.engine.sharding import ShardSpec
+        from repro.scenarios import run_scenario_shard
+
+        spec = get_scenario("uniform-multilateration")
+        old = ResultStore(tmp_path, code_version="v-old")
+        run_scenario_shard(
+            spec, ShardSpec(index=0, n_shards=2), n_trials=4, store=old
+        )
+        current = ResultStore(tmp_path, code_version="v-new")
+        run_scenario_shard(
+            spec, ShardSpec(index=1, n_shards=2), n_trials=4, store=current
+        )
+        lines = _shard_status_lines(current)
+        # Two separate 1/2-complete groups, not one falsely complete one.
+        assert len(lines) == 2
+        assert sum("stale code version v-old" in line for line in lines) == 1

@@ -80,6 +80,27 @@ class TestConfidenceStop:
         desc = stop.describe()
         assert desc["rule"] == "confidence" and desc["tolerance"] == 0.25
 
+    def test_z_value_is_computed_once_per_confidence(self):
+        """Regression: z_value() used to re-import scipy.stats and
+        recompute the quantile at every chunk-boundary evaluation; it is
+        now a module-level lru_cache keyed on the confidence level."""
+        from repro.engine.scheduler import _normal_quantile
+
+        _normal_quantile.cache_clear()
+        stop_a = ConfidenceStop(metric="x", confidence=0.95)
+        stop_b = ConfidenceStop(metric="y", confidence=0.95)
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        for _ in range(3):
+            stop_a.half_width(values)
+            stop_b.half_width(values)
+        info = _normal_quantile.cache_info()
+        assert info.misses == 1  # one ppf evaluation for 0.95, ever
+        assert info.hits == 5
+        assert stop_a.z_value() == pytest.approx(1.959963984540054, rel=1e-12)
+        # A different confidence level is its own cache line.
+        ConfidenceStop(confidence=0.99).z_value()
+        assert _normal_quantile.cache_info().misses == 2
+
 
 class TestResolveChunkSize:
     def test_default_from_rule(self):

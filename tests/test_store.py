@@ -10,6 +10,7 @@ entry (tmp-file staging + atomic rename).
 import gzip
 import json
 import threading
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -19,10 +20,12 @@ from repro.engine.scheduler import ScheduledCampaignResult
 from repro.errors import ValidationError
 from repro.ranging import gaussian_ranges
 from repro.store import (
+    STORE_ENV_VAR,
     ResultStore,
     campaign_from_payload,
     campaign_to_payload,
     default_code_version,
+    default_store_root,
     measurement_set_from_payload,
     measurement_set_to_payload,
 )
@@ -99,6 +102,32 @@ class TestRoundTrip:
         assert store.get(key) == {"ok": True}
 
 
+class TestDefaultStoreRoot:
+    _default = Path.home() / ".cache" / "repro" / "store"
+
+    def test_unset_uses_default_location(self, monkeypatch):
+        monkeypatch.delenv(STORE_ENV_VAR, raising=False)
+        assert default_store_root() == self._default
+
+    def test_set_relocates(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(STORE_ENV_VAR, str(tmp_path))
+        assert default_store_root() == tmp_path
+
+    @pytest.mark.parametrize("value", ["off", "0", "none", " OFF ", "None"])
+    def test_documented_sentinels_disable(self, monkeypatch, value):
+        monkeypatch.setenv(STORE_ENV_VAR, value)
+        assert default_store_root() is None
+
+    @pytest.mark.parametrize("value", ["", "   "])
+    def test_empty_value_means_unset_not_disabled(self, monkeypatch, value):
+        """Regression: an empty REPRO_STORE_DIR conventionally means
+        *unset* (e.g. `REPRO_STORE_DIR= python -m repro ...`), and must
+        fall back to the default location instead of silently disabling
+        the store."""
+        monkeypatch.setenv(STORE_ENV_VAR, value)
+        assert default_store_root() == self._default
+
+
 class TestInvalidation:
     def test_invalidate_and_clear(self, store):
         keys = [store.key_for(i) for i in range(3)]
@@ -140,6 +169,92 @@ class TestConcurrency:
         assert store.get(key) == payload
         # Staging files must not leak.
         assert not list(store.root.rglob("*.tmp"))
+
+    def test_heal_does_not_delete_concurrently_republished_entry(
+        self, store, monkeypatch
+    ):
+        """Regression: the corrupt-entry heal path used a bare
+        ``path.unlink()``, which could race with a concurrent writer's
+        ``os.replace`` and delete the freshly republished *healthy*
+        entry.  Simulate the race deterministically: the reader's first
+        read fails (as if it caught a corrupt entry), but by the time it
+        goes to remove the file, a writer has already republished
+        healthy bytes — which must survive (and are in fact returned)."""
+        import repro.store.result_store as rs
+
+        key = store.key_for("raced")
+        payload = {"values": [1.5, 2.5]}
+        store.put(key, payload)
+
+        real_open = rs.gzip.open
+        failed = {"done": False}
+
+        def torn_first_read(*args, **kwargs):
+            if not failed["done"]:
+                failed["done"] = True
+                raise OSError("simulated torn read of a corrupt entry")
+            return real_open(*args, **kwargs)
+
+        monkeypatch.setattr(rs.gzip, "open", torn_first_read)
+        assert store.get(key) == payload  # verified healthy and restored
+        monkeypatch.undo()
+        assert store.contains(key)
+        assert store.get(key) == payload
+        assert not list(store.root.rglob("*.quarantine"))
+
+    def test_heal_removes_genuinely_corrupt_entry(self, store):
+        key = store.key_for("corrupt-for-real")
+        store.put(key, {"ok": True})
+        store.path_for(key).write_bytes(b"\x1f\x8b not gzip")
+        assert store.get(key) is None
+        assert not store.contains(key)
+        assert not list(store.root.rglob("*.quarantine"))
+
+    def test_concurrent_heal_vs_publish_never_loses_the_entry(self, store):
+        """Writers republishing while readers corrupt-and-heal the same
+        key: whatever interleaving occurs, a final publish must land and
+        read back intact, and no quarantine staging files may leak."""
+        key = store.key_for("heal-race")
+        payload = {"values": [float(i) * 0.25 for i in range(64)]}
+        store.put(key, payload)
+        path = store.path_for(key)
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            try:
+                while not stop.is_set():
+                    store.put(key, payload)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        def corruptor():
+            try:
+                while not stop.is_set():
+                    try:
+                        path.write_bytes(b"\x1f\x8b torn")
+                    except OSError:
+                        pass
+                    store.get(key)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(2)] + [
+            threading.Thread(target=corruptor) for _ in range(2)
+        ]
+        for t in threads:
+            t.start()
+        import time
+
+        time.sleep(0.5)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert not errors
+        store.put(key, payload)
+        assert store.get(key) == payload
+        assert not list(store.root.rglob("*.tmp"))
+        assert not list(store.root.rglob("*.quarantine"))
 
     def test_entry_file_is_valid_gzip_json(self, store):
         key = store.key_for("wire")

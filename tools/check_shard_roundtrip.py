@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""CI gate: a 3-shard + merge round-trip must match the single-host golden.
+
+Drives the real CLI (``python -m repro run --shard K/N`` three times,
+then ``python -m repro merge``) against a temporary store, runs the same
+campaign single-host into a second temporary store, and asserts the two
+canonical campaign entries are byte-identical.  Exits non-zero with a
+diagnostic on any mismatch.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_shard_roundtrip.py
+    PYTHONPATH=src python tools/check_shard_roundtrip.py --scenario town-multilateration --trials 9
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def run_cli(args: list, store: Path) -> None:
+    command = [sys.executable, "-m", "repro", *args, "--store", str(store)]
+    result = subprocess.run(command, capture_output=True, text=True)
+    if result.returncode != 0:
+        sys.exit(
+            f"command failed ({result.returncode}): {' '.join(command)}\n"
+            f"{result.stdout}{result.stderr}"
+        )
+
+
+def entry_bytes(store: Path, scenario_id: str, seed: int, trials: int) -> bytes:
+    from repro.scenarios import get_scenario, scenario_run_key
+    from repro.store import ResultStore
+
+    result_store = ResultStore(store)
+    key = result_store.key_for(
+        scenario_run_key(
+            get_scenario(scenario_id), master_seed=seed, n_trials=trials
+        )
+    )
+    path = result_store.path_for(key)
+    if not path.is_file():
+        sys.exit(f"no canonical campaign entry at {path}")
+    return path.read_bytes()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scenario", default="uniform-multilateration")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--trials", type=int, default=6)
+    parser.add_argument("--shards", type=int, default=3)
+    args = parser.parse_args()
+
+    base = ["run", args.scenario, "--seed", str(args.seed), "--trials", str(args.trials)]
+    with tempfile.TemporaryDirectory() as tmp:
+        sharded = Path(tmp) / "sharded"
+        single = Path(tmp) / "single"
+        for k in range(1, args.shards + 1):
+            run_cli([*base, "--shard", f"{k}/{args.shards}"], sharded)
+        # Auto-merge published the canonical entry with the last shard;
+        # the explicit merge must agree (and is the CI path under test).
+        run_cli(
+            [
+                "merge",
+                args.scenario,
+                "--seed",
+                str(args.seed),
+                "--trials",
+                str(args.trials),
+                "--shards",
+                str(args.shards),
+            ],
+            sharded,
+        )
+        run_cli(base, single)
+        merged = entry_bytes(sharded, args.scenario, args.seed, args.trials)
+        golden = entry_bytes(single, args.scenario, args.seed, args.trials)
+    if merged != golden:
+        print(
+            f"FAIL: {args.shards}-shard merge of {args.scenario} "
+            f"(seed={args.seed}, trials={args.trials}) is not byte-identical "
+            f"to the single-host entry ({len(merged)} vs {len(golden)} bytes)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"ok: {args.shards}-shard + merge round-trip of {args.scenario} "
+        f"(seed={args.seed}, trials={args.trials}) is byte-identical to the "
+        f"single-host golden ({len(golden)} bytes)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
