@@ -15,6 +15,14 @@ Subcommands
 ``merge <id>``
     Merge an N-shard campaign's published shard entries into the
     canonical full-campaign store entry.
+``store <subcommand>``
+    Operate on result stores themselves: ``stats`` (backend, entry and
+    byte counts), ``ls`` (indexed entry listing), ``gc`` (size-budget
+    LRU eviction + orphaned staging-file sweep), ``sync SRC DST``
+    (exchange entries between two stores — the cross-host path), and
+    ``migrate SRC DST`` (move a store between backends byte-identically).
+    Store paths accept both backend forms: a directory is the
+    filesystem layout, a ``.sqlite``/``.db`` path the SQLite backend.
 
 Examples::
 
@@ -24,6 +32,10 @@ Examples::
     python -m repro run uniform-multilateration --adaptive --tolerance 0.1
     python -m repro run town-multilateration --shard 2/3
     python -m repro merge town-multilateration --shards 3
+    python -m repro store stats
+    python -m repro store gc --max-bytes 256M
+    python -m repro store sync /mnt/hostB-store ~/.cache/repro/store
+    python -m repro store migrate ~/.cache/repro/store /tmp/store.sqlite
 """
 
 from __future__ import annotations
@@ -46,6 +58,8 @@ from .scenarios import (
     scenario_shard_status,
 )
 from .store import ResultStore, default_store_root
+from .store.gc import DEFAULT_GRACE_SECONDS, collect
+from .store.sync import diff, migrate, push
 
 #: Flags only meaningful for scenario campaigns (flag, argparse attr).
 #: An experiment run that sets any of them gets a clear usage error
@@ -68,8 +82,10 @@ def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--store",
         default=None,
-        metavar="DIR",
-        help="result store directory (default: $REPRO_STORE_DIR or ~/.cache/repro/store)",
+        metavar="PATH",
+        help="result store: a directory (filesystem backend) or a "
+        ".sqlite/.db file (SQLite backend); default: $REPRO_STORE_DIR "
+        "or ~/.cache/repro/store",
     )
     parser.add_argument(
         "--no-store", action="store_true", help="disable the result store entirely"
@@ -147,7 +163,264 @@ def _build_parser():
         help="total shard count of the split being merged",
     )
     _add_store_arguments(merge)
+
+    store = sub.add_parser(
+        "store",
+        help="inspect and maintain result stores (stats/ls/gc/sync/migrate)",
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+
+    stats = store_sub.add_parser(
+        "stats", help="backend kind, entry count, stored bytes, shard entries"
+    )
+    _add_store_arguments(stats)
+
+    ls = store_sub.add_parser(
+        "ls", help="list entries from the store index (no decompression)"
+    )
+    _add_store_arguments(ls)
+    ls.add_argument(
+        "--limit", type=int, default=None, metavar="N", help="show at most N entries"
+    )
+    ls.add_argument(
+        "--shards",
+        action="store_true",
+        help="list campaign-shard entries (scenario, seed, shard K/N) instead",
+    )
+
+    gc = store_sub.add_parser(
+        "gc", help="evict to a size budget (LRU) and sweep orphaned staging files"
+    )
+    _add_store_arguments(gc)
+    gc.add_argument(
+        "--max-bytes",
+        default=None,
+        metavar="SIZE",
+        help="size budget, e.g. 500000, 64K, 256M, 2G (omit to only sweep orphans)",
+    )
+    gc.add_argument(
+        "--pin",
+        action="append",
+        default=[],
+        metavar="KEY",
+        help="store key that must never be evicted (repeatable)",
+    )
+    gc.add_argument(
+        "--grace",
+        type=float,
+        default=DEFAULT_GRACE_SECONDS,
+        metavar="SECONDS",
+        help=f"min age before a .tmp/.quarantine staging file is swept "
+        f"(default {DEFAULT_GRACE_SECONDS:.0f}s)",
+    )
+    gc.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be evicted without deleting anything",
+    )
+
+    sync = store_sub.add_parser(
+        "sync",
+        help="copy SRC entries missing from DST (cross-host shard exchange)",
+    )
+    sync.add_argument("src", metavar="SRC", help="source store (directory or .sqlite)")
+    sync.add_argument("dst", metavar="DST", help="destination store")
+    sync.add_argument(
+        "--two-way",
+        action="store_true",
+        help="also copy DST entries missing from SRC (full set union)",
+    )
+
+    mig = store_sub.add_parser(
+        "migrate",
+        help="copy every SRC entry into DST (backend migration, byte-identical)",
+    )
+    mig.add_argument("src", metavar="SRC", help="source store (directory or .sqlite)")
+    mig.add_argument("dst", metavar="DST", help="destination store")
     return parser, run
+
+
+def _parse_size(text: str) -> int:
+    """``"500000"``/``"64K"``/``"256M"``/``"2G"`` → bytes."""
+    value = str(text).strip()
+    scale = 1
+    suffixes = {"K": 1024, "M": 1024**2, "G": 1024**3}
+    if value and value[-1].upper() in suffixes:
+        scale = suffixes[value[-1].upper()]
+        value = value[:-1]
+    try:
+        n = int(value)
+        if n < 0:
+            raise ValueError(value)
+    except ValueError:
+        raise ValidationError(
+            f"sizes look like 500000, 64K, 256M, or 2G; got {text!r}"
+        ) from None
+    return n * scale
+
+
+def _format_bytes(n: int) -> str:
+    for unit, scale in (("GiB", 1024**3), ("MiB", 1024**2), ("KiB", 1024)):
+        if n >= scale:
+            return f"{n / scale:.1f} {unit}"
+    return f"{n} B"
+
+
+def _cmd_store(args) -> int:
+    if args.store_command == "sync":
+        return _cmd_store_sync(args)
+    if args.store_command == "migrate":
+        return _cmd_store_migrate(args)
+    store = _open_store(args)
+    if store is None:
+        print(
+            "no result store (REPRO_STORE_DIR is off); pass --store PATH",
+            file=sys.stderr,
+        )
+        return 2
+    if not store.root.exists():
+        # Inspection/maintenance must not conjure an empty store at a
+        # typo'd path and report success against it.
+        print(f"store {str(store.root)!r} does not exist", file=sys.stderr)
+        return 2
+    if args.store_command == "stats":
+        return _cmd_store_stats(args, store)
+    if args.store_command == "ls":
+        return _cmd_store_ls(args, store)
+    return _cmd_store_gc(args, store)
+
+
+def _cmd_store_stats(args, store: ResultStore) -> int:
+    if store.backend.indexed_shard_meta:
+        # Indexed backend: count and bytes are O(1) SQL aggregates.
+        count, total = len(store), store.total_bytes()
+    else:
+        # Filesystem: one directory walk yields both.
+        infos = list(store.iter_entry_info())
+        count, total = len(infos), sum(info.size for info in infos)
+    print(f"store: {store.root} ({store.backend.kind} backend)")
+    print(f"entries: {count} ({total} bytes, {_format_bytes(total)})")
+    # Shard-entry counts come only from an index; stats stays cheap on
+    # backends where counting would mean decompressing every entry.
+    if store.backend.indexed_shard_meta:
+        print(f"shard entries: {len(store.list_shards())}")
+    else:
+        print("shard entries: not indexed (`repro store ls --shards` scans)")
+    return 0
+
+
+def _cmd_store_ls(args, store: ResultStore) -> int:
+    if args.limit is not None and args.limit < 0:
+        # A negative limit would silently drop entries off the *end*
+        # via Python slicing — a plausible-looking but wrong listing.
+        print("--limit must be >= 0", file=sys.stderr)
+        return 2
+    if args.shards:
+        listed = store.list_shards()
+        print(f"shard entries ({len(listed)}):")
+        for meta in listed[: args.limit]:
+            shard = meta.get("shard", {})
+            context = meta.get("context", {})
+            k, n = shard.get("index"), shard.get("n_shards")
+            cli_form = "?/?" if k is None or n is None else f"{k + 1}/{n}"
+            print(
+                f"  {str(context.get('scenario_id', '?')):<28s} "
+                f"shard {cli_form} seed={meta.get('master_seed')} "
+                f"trials={meta.get('campaign_trials')}"
+            )
+        return 0
+    infos = list(store.iter_entry_info())
+    total = sum(info.size for info in infos)
+    print(f"entries ({len(infos)}, {total} bytes):")
+    # Most recently used first — the entries eviction would keep longest.
+    infos.sort(key=lambda info: (-info.accessed_at, info.key))
+    for info in infos[: args.limit]:
+        print(f"  {info.key}  {info.size:>8d} B")
+    return 0
+
+
+def _cmd_store_gc(args, store: ResultStore) -> int:
+    try:
+        max_bytes = None if args.max_bytes is None else _parse_size(args.max_bytes)
+        report = collect(
+            store,
+            max_bytes=max_bytes,
+            pinned=args.pin,
+            grace_seconds=args.grace,
+            dry_run=args.dry_run,
+        )
+    except ValidationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(f"store: {store.root} ({store.backend.kind} backend)")
+    print(f"gc: {report.summary()}")
+    if not report.under_budget:
+        print(
+            f"gc: pinned entries alone exceed the {max_bytes}-byte budget "
+            f"({report.bytes_after} bytes remain)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _open_source_store(path: str) -> ResultStore:
+    """A store at *path* that must already exist: sync/migrate sources
+    are read-only, so a typo'd path must fail loudly instead of opening
+    an empty store and 'successfully' copying nothing."""
+    from pathlib import Path
+
+    if not Path(path).exists():
+        raise ValidationError(f"source store {path!r} does not exist")
+    return ResultStore(path)
+
+
+def _cmd_store_sync(args) -> int:
+    try:
+        src = _open_source_store(args.src)
+    except ValidationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    dst = ResultStore(args.dst)
+    report = push(src, dst)
+    print(f"sync {src.root} -> {dst.root}: {report.summary()}")
+    corrupt = list(report.skipped_corrupt)
+    if args.two_way:
+        back = push(dst, src)
+        print(f"sync {dst.root} -> {src.root}: {back.summary()}")
+        corrupt.extend(back.skipped_corrupt)
+    # Name the actual cause before the generic divergence check: corrupt
+    # entries are the one thing that legitimately leaves a two-way pass
+    # out of sync, and "heal or invalidate them" is the actionable fix.
+    if corrupt:
+        print(
+            f"sync: {len(corrupt)} corrupt source entries were not copied",
+            file=sys.stderr,
+        )
+        return 1
+    if args.two_way and not diff(src, dst).in_sync:
+        print("sync: stores still differ after two-way pass", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_store_migrate(args) -> int:
+    try:
+        src = _open_source_store(args.src)
+    except ValidationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    dst = ResultStore(args.dst)
+    try:
+        report = migrate(src, dst)
+    except ValidationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    print(
+        f"migrate {src.root} ({src.backend.kind}) -> "
+        f"{dst.root} ({dst.backend.kind}): {report.summary()}"
+    )
+    return 0
 
 
 def _shard_status_lines(store: ResultStore) -> list:
@@ -407,13 +680,40 @@ def _cmd_merge(args) -> int:
 
 
 def main(argv=None) -> int:
+    import sqlite3
+
     parser, run_parser = _build_parser()
     args = parser.parse_args(argv)
-    if args.command == "list":
-        return _cmd_list(args)
-    if args.command == "merge":
-        return _cmd_merge(args)
-    return _cmd_run(args, run_parser)
+    try:
+        if args.command == "list":
+            return _cmd_list(args)
+        if args.command == "merge":
+            return _cmd_merge(args)
+        if args.command == "store":
+            try:
+                return _cmd_store(args)
+            except OSError as exc:
+                # Environmental I/O failures on store maintenance
+                # (read-only mount, permission denied, disk full) get a
+                # one-line diagnostic.  Scoped to the store group: an
+                # OSError elsewhere (e.g. a broken pipe while printing
+                # `list`) is not a store error and must not be
+                # mislabeled as one.
+                print(f"store I/O error: {exc}", file=sys.stderr)
+                return 2
+        return _cmd_run(args, run_parser)
+    except ValidationError as exc:
+        # Backstop for usage-level errors raised below argument parsing
+        # — e.g. a --store path that exists but is not a store.
+        print(str(exc), file=sys.stderr)
+        return 2
+    except sqlite3.Error as exc:
+        # A damaged SQLite store (truncated copy whose magic header
+        # survived) fails mid-query, from any command that opens it;
+        # sqlite is only ever a store backend, so the label is accurate
+        # globally.
+        print(f"SQLite store error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -9,7 +9,11 @@ This module partitions the index space into contiguous shard ranges so
 independent hosts can each run ``python -m repro run <id> --shard K/N``
 against their own range and exchange results through the content-
 addressed store (:mod:`repro.store`), with a merge step that
-reassembles the canonical full campaign.
+reassembles the canonical full campaign.  Hosts need not even share a
+store: shard entries are immutable content-addressed values, so
+per-host stores reconcile conflict-free via :mod:`repro.store.sync`
+(``python -m repro store sync SRC DST``) before the merge — across any
+store backend, since entries sync byte-verbatim.
 
 Determinism argument
 --------------------

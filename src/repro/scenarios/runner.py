@@ -19,8 +19,17 @@ exchange point — once all N shard entries exist, the shards are merged
 :func:`merge_scenario_shards` / ``python -m repro merge``) into the
 canonical full-campaign entry, byte-identical to the entry a single-host
 :func:`run_scenario` would have published (``tests/test_sharding.py``).
-Sharding requires a fixed trial count; it cannot combine with adaptive
-early stopping, whose rule needs the global record prefix.
+Hosts running against physically separate stores reconcile them first
+with :mod:`repro.store.sync` (``python -m repro store sync SRC DST``) —
+entries cross store and backend boundaries byte-verbatim, so the merge
+result is unchanged.  Sharding requires a fixed trial count; it cannot
+combine with adaptive early stopping, whose rule needs the global record
+prefix.
+
+Everything here talks to the store through its backend-agnostic surface
+(``get``/``put``/``contains``/``missing_keys``), so campaigns memoize
+identically whether the store is the filesystem layout or the
+SQLite-indexed single file (:mod:`repro.store.backends`).
 """
 
 from __future__ import annotations

@@ -4,17 +4,32 @@ Campaign and sweep results are pure functions of ``(scenario spec,
 master seed, scheduling mode, code version)``; this package memoizes
 them on disk so repeated campaigns, parameter sweeps, and CI golden runs
 hit the cache instead of re-simulating.  See
-:mod:`repro.store.result_store` for the keying and atomicity model and
-:mod:`repro.store.serialization` for the bit-identical payload contract.
+:mod:`repro.store.result_store` for the keying and atomicity model,
+:mod:`repro.store.backends` for the pluggable byte-storage backends
+(filesystem layout and SQLite-indexed single file),
+:mod:`repro.store.serialization` for the bit-identical payload contract,
+:mod:`repro.store.sync` for moving entries between stores on physically
+separate hosts, and :mod:`repro.store.gc` for size-budget eviction and
+staging-file cleanup.
 """
 
+from .backends import (
+    EntryInfo,
+    FilesystemBackend,
+    SQLiteBackend,
+    StoreBackend,
+    open_backend,
+)
+from .gc import DEFAULT_GRACE_SECONDS, GCReport, collect
 from .result_store import (
     STORE_ENV_VAR,
     STORE_SCHEMA_VERSION,
     ResultStore,
     StoreStats,
+    decode_payload,
     default_code_version,
     default_store_root,
+    encode_payload,
     open_default_store,
 )
 from .serialization import (
@@ -27,6 +42,7 @@ from .serialization import (
     shard_from_payload,
     shard_to_payload,
 )
+from .sync import StoreDiff, SyncReport, diff, migrate, pull, push
 
 __all__ = [
     "ResultStore",
@@ -36,6 +52,26 @@ __all__ = [
     "default_code_version",
     "default_store_root",
     "open_default_store",
+    "encode_payload",
+    "decode_payload",
+    # backends
+    "StoreBackend",
+    "FilesystemBackend",
+    "SQLiteBackend",
+    "EntryInfo",
+    "open_backend",
+    # sync
+    "StoreDiff",
+    "SyncReport",
+    "diff",
+    "push",
+    "pull",
+    "migrate",
+    # gc
+    "GCReport",
+    "collect",
+    "DEFAULT_GRACE_SECONDS",
+    # serialization
     "campaign_to_payload",
     "campaign_from_payload",
     "measurement_set_to_payload",

@@ -1,0 +1,159 @@
+"""Store garbage collection: size-budget LRU eviction + orphan sweep.
+
+The store grows without bound by design — entries are immutable values
+with no time-based expiry — so capping disk usage is an explicit
+maintenance operation, not a side effect of reads.  :func:`collect`
+does two things, both backend-agnostic:
+
+1. **Orphan sweep.**  Crashed writers leave ``.tmp`` staging files (and
+   interrupted heals leave ``.quarantine`` files) that no read or write
+   path ever looks at again; the backend removes any older than a grace
+   window.  The window protects files a *live* writer is staging right
+   now — a fresh tmp file is never swept.
+2. **LRU eviction.**  When the store exceeds ``max_bytes``, entries are
+   evicted least-recently-accessed first (backends stamp a coarse
+   access time on reads) until the store fits the budget.  *Pinned*
+   keys — golden entries, in-flight shard sets — are never evicted,
+   even if the store cannot reach the budget without them; the report
+   says so instead.
+
+Eviction is safe by the same argument that makes sync conflict-free:
+an evicted entry is a cache miss, not data loss — re-running the same
+workload on the same code regenerates the identical bytes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+from .backends import check_key
+from .result_store import ResultStore
+
+__all__ = ["GCReport", "collect", "DEFAULT_GRACE_SECONDS"]
+
+#: Staging files younger than this are presumed to belong to a live
+#: writer and survive the orphan sweep.
+DEFAULT_GRACE_SECONDS = 3600.0
+
+
+@dataclass(frozen=True)
+class GCReport:
+    """What one :func:`collect` pass did (or, dry-run, would do)."""
+
+    entries_before: int
+    bytes_before: int
+    evicted: Tuple[str, ...]
+    evicted_bytes: int
+    pinned_kept: int
+    pins_unmatched: Tuple[str, ...]
+    swept_orphans: Tuple[str, ...]
+    bytes_after: int
+    under_budget: bool
+    dry_run: bool = False
+
+    def summary(self) -> str:
+        evict_verb = "would evict" if self.dry_run else "evicted"
+        sweep_verb = "would sweep" if self.dry_run else "swept"
+        parts = [
+            f"{self.entries_before} entries / {self.bytes_before} bytes scanned",
+            f"{evict_verb} {len(self.evicted)} ({self.evicted_bytes} bytes)",
+        ]
+        if self.swept_orphans:
+            parts.append(
+                f"{sweep_verb} {len(self.swept_orphans)} orphaned staging files"
+            )
+        if self.pinned_kept:
+            parts.append(f"{self.pinned_kept} pinned entries protected")
+        if self.pins_unmatched:
+            parts.append(
+                f"WARNING: {len(self.pins_unmatched)} pinned keys matched "
+                f"no entry (first: {self.pins_unmatched[0][:12]}…)"
+            )
+        if not self.under_budget:
+            parts.append("still over budget (pinned entries exceed it)")
+        return ", ".join(parts)
+
+
+def collect(
+    store: ResultStore,
+    *,
+    max_bytes: Optional[int] = None,
+    pinned: Iterable[str] = (),
+    grace_seconds: float = DEFAULT_GRACE_SECONDS,
+    dry_run: bool = False,
+    now: Optional[float] = None,
+) -> GCReport:
+    """Sweep orphaned staging files and evict down to *max_bytes*.
+
+    Parameters
+    ----------
+    max_bytes : int, optional
+        Size budget for stored payload bytes.  ``None`` skips eviction
+        (the sweep still runs) — ``collect(store)`` is a pure cleanup.
+    pinned : iterable of str
+        Keys that must survive eviction regardless of budget pressure.
+    grace_seconds : float
+        Minimum age before a ``.tmp``/``.quarantine`` staging file is
+        considered orphaned.
+    dry_run : bool
+        Report what would be evicted and which orphans would be swept,
+        without deleting anything.
+    now : float, optional
+        Clock override for tests.
+    """
+    now = time.time() if now is None else float(now)
+    pinned_keys = set(pinned)
+    for key in pinned_keys:
+        # A malformed pin can never match an entry, so the protection it
+        # was meant to buy silently would not exist — fail loudly.
+        check_key(key)
+
+    swept = tuple(
+        store.backend.sweep_orphans(grace_seconds, now=now, dry_run=dry_run)
+    )
+
+    infos = list(store.iter_entry_info())
+    entries_before = len(infos)
+    bytes_before = sum(info.size for info in infos)
+
+    evicted = []
+    evicted_bytes = 0
+    pinned_kept = 0
+    total = bytes_before
+    if max_bytes is not None and total > max_bytes:
+        # Oldest access first; key breaks ties so the order (and any
+        # dry-run report) is deterministic.
+        for info in sorted(infos, key=lambda i: (i.accessed_at, i.key)):
+            if total <= max_bytes:
+                break
+            if info.key in pinned_keys:
+                pinned_kept += 1
+                continue
+            if not dry_run and not store.invalidate(info.key):
+                # Vanished concurrently (a racing GC or invalidate): its
+                # bytes are already freed, so the running total must
+                # drop too — or this pass would over-evict live entries
+                # to pay for bytes nobody holds anymore.
+                total -= info.size
+                continue
+            evicted.append(info.key)
+            evicted_bytes += info.size
+            total -= info.size
+    if evicted and not dry_run:
+        store.backend.compact()
+    return GCReport(
+        entries_before=entries_before,
+        bytes_before=bytes_before,
+        evicted=tuple(evicted),
+        evicted_bytes=evicted_bytes,
+        pinned_kept=pinned_kept,
+        pins_unmatched=tuple(
+            sorted(pinned_keys - {info.key for info in infos})
+        ),
+        swept_orphans=swept,
+        bytes_after=total,
+        under_budget=max_bytes is None or total <= max_bytes,
+        dry_run=dry_run,
+    )

@@ -1,4 +1,4 @@
-"""Content-addressed on-disk result store.
+"""Content-addressed result store over pluggable byte backends.
 
 Simulation results (campaign trial records, measurement sets) are cached
 under a key derived from *what produced them*: the SHA-256 of a
@@ -8,31 +8,47 @@ string.  Re-running the same workload on the same code hits the cache
 and does zero simulation work; changing any spec field, the seed, or the
 code version changes the key and forces a cold run.  There is no
 time-based expiry — entries are immutable values addressed by content,
-so the only invalidation is an explicit :meth:`ResultStore.invalidate` /
-:meth:`ResultStore.clear` or a key change.
+so invalidation is an explicit :meth:`ResultStore.invalidate` /
+:meth:`ResultStore.clear`, a key change, or a size-budget eviction by
+:mod:`repro.store.gc`.
 
-Durability and concurrency
---------------------------
-Payloads are gzip-compressed JSON written to a temporary file in the
-store root and published with ``os.replace`` — an atomic rename on
-POSIX, so readers never observe a half-written entry and concurrent
-writers of the same key simply race to publish identical bytes (last
-rename wins, harmlessly).  Entries are sharded into 256 two-hex-char
-subdirectories to keep directory fan-out flat at scale.
+Durability, concurrency, and backends
+-------------------------------------
+Payloads are gzip-compressed canonical JSON (sorted keys, ``mtime=0``,
+empty embedded filename — a pure function of the payload, so identical
+results are identical bytes).  The *encoding* happens here, once;
+*where the bytes live* is a :class:`repro.store.backends.StoreBackend`:
+the default :class:`~repro.store.backends.FilesystemBackend` keeps the
+original one-file-per-entry sharded-directory layout (atomic tmp-file +
+``os.replace`` publication), while
+:class:`~repro.store.backends.SQLiteBackend` packs entries into one
+WAL-mode database whose metadata index answers ``len`` /
+``list_shards`` / CLI listings without decompressing anything.  Because
+every backend receives the same encoded bytes, entries survive
+:mod:`repro.store.sync` and backend migration byte-identically.
 """
 
 from __future__ import annotations
 
 import gzip
+import io
 import json
 import os
-import uuid
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
 from .._canonical import canonical_json, sha256_hex
 from ..errors import ValidationError
+from .backends import (
+    CORRUPT_ERRORS,
+    EntryInfo,
+    FilesystemBackend,
+    StoreBackend,
+    check_key,
+    open_backend,
+    shard_meta_from_payload,
+)
 
 __all__ = [
     "StoreStats",
@@ -40,6 +56,8 @@ __all__ = [
     "default_code_version",
     "default_store_root",
     "open_default_store",
+    "encode_payload",
+    "decode_payload",
 ]
 
 #: Bump when the *store payload schema* changes (how results are
@@ -47,7 +65,9 @@ __all__ = [
 STORE_SCHEMA_VERSION = 1
 
 #: Environment variable overriding the default store location; set to
-#: "off" (or "0"/"none") to disable the default store entirely.
+#: "off" (or "0"/"none") to disable the default store entirely.  A
+#: path ending in ``.sqlite``/``.sqlite3``/``.db`` selects the SQLite
+#: backend; anything else is a filesystem store root.
 STORE_ENV_VAR = "REPRO_STORE_DIR"
 
 
@@ -67,7 +87,9 @@ def default_store_root() -> Optional[Path]:
     An empty (or whitespace-only) value means *unset* — the conventional
     reading of an empty environment variable — and falls back to the
     default location; only the documented "off"/"0"/"none" values
-    disable the store.
+    disable the store.  Surrounding whitespace is stripped from the
+    configured path as well (a padded value must not yield a
+    whitespace-padded directory name).
     """
     configured = os.environ.get(STORE_ENV_VAR)
     if configured is not None:
@@ -75,7 +97,7 @@ def default_store_root() -> Optional[Path]:
         if value.lower() in ("off", "0", "none"):
             return None
         if value:
-            return Path(configured)
+            return Path(value)
     return Path.home() / ".cache" / "repro" / "store"
 
 
@@ -86,6 +108,27 @@ def open_default_store(*, code_version: Optional[str] = None) -> Optional["Resul
     if root is None:
         return None
     return ResultStore(root, code_version=code_version)
+
+
+def encode_payload(payload: Dict[str, Any]) -> bytes:
+    """*payload* as canonical gzip-JSON bytes — the one store encoding.
+
+    ``mtime=0`` and an empty embedded filename keep the gzip bytes a
+    pure function of the payload (no name or timestamp leakage), so
+    identical results are identical bytes through **every** backend —
+    the backend-invariance guarantee sync and migration rest on.
+    """
+    buffer = io.BytesIO()
+    with gzip.GzipFile(filename="", fileobj=buffer, mode="wb", mtime=0) as fh:
+        fh.write(json.dumps(payload, allow_nan=True, sort_keys=True).encode("utf-8"))
+    return buffer.getvalue()
+
+
+def decode_payload(data: bytes) -> Dict[str, Any]:
+    """Parse stored entry bytes; raises one of
+    :data:`repro.store.backends.CORRUPT_ERRORS` on damage."""
+    with gzip.open(io.BytesIO(data), "rt", encoding="utf-8") as fh:
+        return json.load(fh)
 
 
 @dataclass
@@ -112,14 +155,26 @@ class ResultStore:
     Parameters
     ----------
     root : path-like
-        Directory holding the store (created on first write).
+        Store location.  A directory (or not-yet-existing extension-less
+        path) opens the filesystem backend; a ``.sqlite``/``.sqlite3``/
+        ``.db`` path (or existing regular file) opens the SQLite
+        backend.
     code_version : str, optional
         Key component tying entries to the producing code; defaults to
         :func:`default_code_version`.
+    backend : StoreBackend, optional
+        Explicit backend instance (overrides detection from *root*).
     """
 
-    def __init__(self, root, *, code_version: Optional[str] = None) -> None:
-        self.root = Path(root)
+    def __init__(
+        self,
+        root,
+        *,
+        code_version: Optional[str] = None,
+        backend: Optional[StoreBackend] = None,
+    ) -> None:
+        self.backend = open_backend(root) if backend is None else backend
+        self.root = Path(root) if root is not None else self.backend.location
         self.code_version = (
             code_version if code_version is not None else default_code_version()
         )
@@ -137,16 +192,18 @@ class ResultStore:
         )
 
     def path_for(self, key: str) -> Path:
-        """On-disk location of *key*'s entry."""
-        self._check_key(key)
-        return self.root / key[:2] / f"{key}.json.gz"
+        """On-disk location of *key*'s entry (filesystem backend only —
+        other backends have no per-entry file; use :meth:`get_bytes`)."""
+        if not isinstance(self.backend, FilesystemBackend):
+            raise ValidationError(
+                f"path_for is filesystem-specific; the {self.backend.kind} "
+                f"backend has no per-entry files (use get_bytes)"
+            )
+        return self.backend.path_for(key)
 
     @staticmethod
     def _check_key(key: str) -> None:
-        if not (isinstance(key, str) and len(key) == 64 and all(
-            c in "0123456789abcdef" for c in key
-        )):
-            raise ValidationError(f"store keys are 64-char sha256 hex; got {key!r}")
+        check_key(key)
 
     # ------------------------------------------------------------------
     # Read / write
@@ -154,103 +211,83 @@ class ResultStore:
 
     def contains(self, key: str) -> bool:
         """True when an entry for *key* exists (does not touch stats)."""
-        return self.path_for(key).is_file()
+        return self.backend.contains(key)
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """The payload stored under *key*, or ``None`` on a miss.
 
         A corrupt entry (interrupted legacy write, disk damage) counts
         as a miss and is removed so the caller's fresh ``put`` heals it.
-        Removal goes through a guarded rename: a concurrent writer may
-        republish a healthy entry between our failed read and the
-        removal, and a bare ``unlink`` would delete *that* — so the
-        entry is renamed aside first and only deleted once its bytes
-        are re-verified corrupt (a grabbed-but-healthy entry is parsed,
-        restored, and returned as the hit it is).
+        Removal is delegated to the backend's guarded
+        ``quarantine_corrupt``: a concurrent writer may republish a
+        healthy entry between the failed read and the removal, and a
+        blind delete would destroy *that* — so the backend re-verifies
+        the entry's current bytes and only removes confirmed corruption
+        (a grabbed-but-healthy entry is restored and returned as the hit
+        it is).
         """
-        path = self.path_for(key)
+        self._check_key(key)
         try:
-            with gzip.open(path, "rt", encoding="utf-8") as fh:
-                payload = json.load(fh)
-        except FileNotFoundError:
-            self.stats.misses += 1
-            return None
-        except (OSError, EOFError, json.JSONDecodeError, UnicodeDecodeError):
-            payload = self._quarantine_corrupt(path)
+            raw = self.backend.read_bytes(key)
+            if raw is None:
+                self.stats.misses += 1
+                return None
+            payload = decode_payload(raw)
+        except CORRUPT_ERRORS:
+            payload = self.backend.quarantine_corrupt(key, decode_payload)
             if payload is None:
                 self.stats.misses += 1
                 return None
         self.stats.hits += 1
         return payload
 
-    def _quarantine_corrupt(self, path: Path) -> Optional[Dict[str, Any]]:
-        """Remove *path* only if its current bytes really are corrupt.
-
-        Atomically renames the entry aside, re-reads the renamed file,
-        and deletes it only on a confirmed parse failure.  If the rename
-        grabbed a healthy entry (a concurrent ``put`` won the race), the
-        payload is published back under *path* and returned.
-        """
-        quarantine = (
-            path.parent / f".{path.name}.{os.getpid()}.{uuid.uuid4().hex}.quarantine"
-        )
-        try:
-            os.rename(path, quarantine)
-        except OSError:
-            # Entry vanished (another reader healed it) — nothing to do.
-            return None
-        try:
-            try:
-                with gzip.open(quarantine, "rt", encoding="utf-8") as fh:
-                    payload = json.load(fh)
-            except (OSError, EOFError, json.JSONDecodeError, UnicodeDecodeError):
-                return None
-            # Healthy after all: a concurrent writer republished between
-            # our failed read and the rename.  Entries are immutable
-            # values, so restoring these bytes is always correct (and
-            # harmless if yet another writer has already replaced them).
-            try:
-                os.replace(quarantine, path)
-            except OSError:
-                pass
-            return payload
-        finally:
-            if quarantine.exists():
-                try:
-                    quarantine.unlink()
-                except OSError:
-                    pass
-
     def put(self, key: str, payload: Dict[str, Any]) -> Path:
-        """Atomically publish *payload* under *key*; returns its path.
+        """Atomically publish *payload* under *key*; returns the path
+        now holding it (the entry file, or the backend's database file).
 
-        The payload is staged to a uniquely named temporary file in the
-        store root and moved into place with ``os.replace``, so
-        concurrent writers never corrupt an entry.
+        The canonical encoding happens here — backends receive finished
+        bytes — and campaign-shard payloads additionally hand the
+        backend their listing metadata so indexing backends can answer
+        :meth:`list_shards` without decompressing anything.
         """
-        path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.parent / f".{key}.{os.getpid()}.{uuid.uuid4().hex}.tmp"
+        self._check_key(key)
+        path = self.backend.write_bytes(
+            key, encode_payload(payload), shard_meta=shard_meta_from_payload(payload)
+        )
+        self.stats.puts += 1
+        return path
+
+    # ------------------------------------------------------------------
+    # Raw byte access (sync / migration)
+    # ------------------------------------------------------------------
+
+    def get_bytes(self, key: str) -> Optional[bytes]:
+        """*key*'s stored bytes verbatim, or ``None`` — no decode, no
+        stats, no access-time touch (this is the sync/migration read,
+        not a cache hit)."""
+        self._check_key(key)
+        return self.backend.read_bytes(key, touch=False)
+
+    def put_bytes(self, key: str, data: bytes) -> Path:
+        """Publish already-encoded entry bytes verbatim under *key*.
+
+        The sync/migration write: bytes cross store boundaries
+        untouched, preserving byte-identity whatever the source backend
+        was.  The payload is decoded once to verify it parses (corrupt
+        entries must not propagate between stores) and to extract shard
+        metadata for indexing backends; raises
+        :class:`~repro.errors.ValidationError` on undecodable bytes.
+        """
+        self._check_key(key)
         try:
-            # mtime=0 and an empty embedded filename keep the gzip bytes
-            # a pure function of the payload (no tmp-name or timestamp
-            # leakage), so identical results are identical files.
-            with open(tmp, "wb") as raw:
-                with gzip.GzipFile(
-                    filename="", fileobj=raw, mode="wb", mtime=0
-                ) as fh:
-                    fh.write(
-                        json.dumps(payload, allow_nan=True, sort_keys=True).encode(
-                            "utf-8"
-                        )
-                    )
-            os.replace(tmp, path)
-        finally:
-            if tmp.exists():
-                try:
-                    tmp.unlink()
-                except OSError:
-                    pass
+            payload = decode_payload(data)
+        except CORRUPT_ERRORS as exc:
+            raise ValidationError(
+                f"refusing to store undecodable entry bytes for {key[:12]}…: {exc}"
+            ) from exc
+        path = self.backend.write_bytes(
+            key, data, shard_meta=shard_meta_from_payload(payload)
+        )
         self.stats.puts += 1
         return path
 
@@ -260,10 +297,8 @@ class ResultStore:
 
     def invalidate(self, key: str) -> bool:
         """Remove *key*'s entry; True if one existed."""
-        path = self.path_for(key)
-        try:
-            path.unlink()
-        except FileNotFoundError:
+        self._check_key(key)
+        if not self.backend.delete(key):
             return False
         self.stats.invalidations += 1
         return True
@@ -271,24 +306,39 @@ class ResultStore:
     def clear(self) -> int:
         """Remove every entry; returns how many were deleted."""
         removed = 0
-        for path in self.iter_entries():
-            try:
-                path.unlink()
+        for key in list(self.backend.iter_keys()):
+            if self.backend.delete(key):
                 removed += 1
-            except OSError:
-                pass
         self.stats.invalidations += removed
         return removed
 
+    def iter_keys(self) -> Iterator[str]:
+        """All published keys, in sorted order (any backend)."""
+        return self.backend.iter_keys()
+
     def iter_entries(self) -> Iterator[Path]:
-        """Paths of all published entries."""
-        if not self.root.is_dir():
-            return
-        for shard in sorted(self.root.iterdir()):
-            if not (shard.is_dir() and len(shard.name) == 2):
-                continue
-            for path in sorted(shard.glob("*.json.gz")):
-                yield path
+        """Paths of all published entries (filesystem backend only;
+        generic callers use :meth:`iter_keys`)."""
+        if not isinstance(self.backend, FilesystemBackend):
+            raise ValidationError(
+                f"iter_entries is filesystem-specific; the {self.backend.kind} "
+                f"backend has no per-entry files (use iter_keys)"
+            )
+        return self.backend.iter_entry_paths()
+
+    def entry_info(self, key: str) -> Optional[EntryInfo]:
+        """Index-level facts (size, timestamps) about *key*'s entry."""
+        self._check_key(key)
+        return self.backend.entry_info(key)
+
+    def iter_entry_info(self) -> Iterator[EntryInfo]:
+        """One :class:`~repro.store.backends.EntryInfo` per entry,
+        sorted by key."""
+        return self.backend.iter_entry_info()
+
+    def total_bytes(self) -> int:
+        """Total stored payload bytes (the GC budget's measure)."""
+        return self.backend.total_bytes()
 
     # ------------------------------------------------------------------
     # Shard probes
@@ -303,53 +353,28 @@ class ResultStore:
         """
         return [key for key in keys if not self.contains(key)]
 
-    #: First bytes of every shard payload's canonical serialization:
-    #: ``put`` renders with ``sort_keys=True`` and "campaign_trials" is
-    #: the schema's alphabetically first key (campaign payloads start
-    #: with "master_seed" instead).  Lets the store scan discard
-    #: non-shard entries after a few decompressed bytes.
-    _SHARD_ENTRY_PREFIX = '{"campaign_trials":'
-
-    def list_shards(self) -> list:
+    def list_shards(self) -> List[Dict[str, Any]]:
         """Metadata of every ``campaign-shard`` entry in the store.
 
-        Scans all entries and returns, per shard payload, a dict with
-        ``master_seed``, ``campaign_trials``, ``shard`` (index /
-        n_shards), and whatever display ``context`` the publisher
-        attached (scenario id, spec hash) — enough for the CLI to group
-        shard entries into campaigns and report which are incomplete,
-        without knowing any keys in advance.  Unreadable or non-shard
-        entries are skipped; non-shard entries (e.g. large full-campaign
-        payloads) are discarded on a prefix sniff without being
-        decompressed or parsed in full.
+        Returns, per shard payload, a dict with ``master_seed``,
+        ``campaign_trials``, ``shard`` (index / n_shards), and whatever
+        display ``context`` the publisher attached (scenario id, spec
+        hash) — enough for the CLI to group shard entries into campaigns
+        and report which are incomplete, without knowing any keys in
+        advance.  The backend answers however it can do so cheapest: the
+        filesystem backend scans entries (discarding non-shard payloads
+        on a few-byte prefix sniff), the SQLite backend reads the shard
+        metadata indexed at ``put`` time without touching payload bytes.
+        Unreadable entries are skipped.
         """
-        out = []
-        for path in self.iter_entries():
-            try:
-                with gzip.open(path, "rt", encoding="utf-8") as fh:
-                    head = fh.read(len(self._SHARD_ENTRY_PREFIX))
-                    if head != self._SHARD_ENTRY_PREFIX:
-                        continue
-                    payload = json.loads(head + fh.read())
-            except (OSError, EOFError, json.JSONDecodeError, UnicodeDecodeError):
-                continue
-            if not isinstance(payload, dict) or payload.get("type") != "campaign-shard":
-                continue
-            out.append(
-                {
-                    "master_seed": payload.get("master_seed"),
-                    "campaign_trials": payload.get("campaign_trials"),
-                    "shard": payload.get("shard", {}),
-                    "context": payload.get("context", {}),
-                }
-            )
-        return out
+        return list(self.backend.iter_shard_meta())
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.iter_entries())
+        return self.backend.count()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"ResultStore(root={str(self.root)!r}, "
+            f"backend={self.backend.kind!r}, "
             f"code_version={self.code_version!r}, entries={len(self)})"
         )

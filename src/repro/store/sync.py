@@ -1,0 +1,145 @@
+"""Cross-store synchronization: ``diff`` / ``push`` / ``pull``.
+
+Physically separate hosts run shards of one campaign against their own
+result stores (``python -m repro run <id> --shard K/N --store ...``);
+before the merge, their shard entries have to end up in one store.  This
+module moves entries between any two :class:`~repro.store.ResultStore`
+instances, **whatever backend each uses** — entries cross the boundary
+as verbatim bytes through :meth:`~repro.store.ResultStore.get_bytes` /
+:meth:`~repro.store.ResultStore.put_bytes`, so a synced entry is
+byte-identical to its source.
+
+Sync is conflict-free by construction: entries are immutable values
+addressed by the content hash of *what produced them*, so two stores can
+never hold different payloads under the same key (short of corruption,
+which :func:`push` detects and refuses to propagate).  "Merging" two
+stores is therefore a plain set union — copy whatever the destination
+is missing, skip what it already has.
+
+Typical two-host flow::
+
+    hostA$ python -m repro run town-multilateration --trials 96 --shard 1/2
+    hostB$ python -m repro run town-multilateration --trials 96 --shard 2/2
+    # move hostB's store (scp/rsync/shared mount), then on hostA:
+    hostA$ python -m repro store sync /path/to/hostB-store ~/.cache/repro/store
+    hostA$ python -m repro merge town-multilateration --trials 96 --shards 2
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+from ..errors import ValidationError
+from .result_store import ResultStore
+
+__all__ = ["StoreDiff", "SyncReport", "diff", "push", "pull", "migrate"]
+
+
+@dataclass(frozen=True)
+class StoreDiff:
+    """Key-level comparison of two stores (no payload access)."""
+
+    missing_in_dst: Tuple[str, ...]
+    missing_in_src: Tuple[str, ...]
+    common: int
+
+    @property
+    def in_sync(self) -> bool:
+        return not self.missing_in_dst and not self.missing_in_src
+
+
+@dataclass(frozen=True)
+class SyncReport:
+    """What one :func:`push` moved."""
+
+    copied: Tuple[str, ...]
+    copied_bytes: int
+    skipped_present: int
+    skipped_corrupt: Tuple[str, ...]
+
+    def summary(self) -> str:
+        parts = [f"copied {len(self.copied)} entries ({self.copied_bytes} bytes)"]
+        if self.skipped_present:
+            parts.append(f"{self.skipped_present} already present")
+        if self.skipped_corrupt:
+            parts.append(f"{len(self.skipped_corrupt)} corrupt (not copied)")
+        return ", ".join(parts)
+
+
+def diff(src: ResultStore, dst: ResultStore) -> StoreDiff:
+    """Which keys each store is missing relative to the other."""
+    src_keys = set(src.iter_keys())
+    dst_keys = set(dst.iter_keys())
+    return StoreDiff(
+        missing_in_dst=tuple(sorted(src_keys - dst_keys)),
+        missing_in_src=tuple(sorted(dst_keys - src_keys)),
+        common=len(src_keys & dst_keys),
+    )
+
+
+def push(
+    src: ResultStore,
+    dst: ResultStore,
+    *,
+    keys: Optional[Iterable[str]] = None,
+) -> SyncReport:
+    """Copy *src* entries missing from *dst* (byte-verbatim).
+
+    With *keys*, only that subset is considered; by default every *src*
+    key is.  Entries already present in *dst* are skipped without
+    reading their payloads — same key means same immutable value.
+    Source entries whose bytes no longer decode are reported in
+    ``skipped_corrupt`` and never propagated.
+    """
+    copied, corrupt = [], []
+    copied_bytes = 0
+    present = 0
+    # One bulk key listing instead of a contains() round trip per key.
+    dst_keys = set(dst.iter_keys())
+    for key in sorted(keys) if keys is not None else src.iter_keys():
+        if key in dst_keys:
+            present += 1
+            continue
+        data = src.get_bytes(key)
+        if data is None:  # vanished mid-sync (concurrent invalidate/GC)
+            continue
+        try:
+            dst.put_bytes(key, data)
+        except ValidationError:
+            corrupt.append(key)
+            continue
+        copied.append(key)
+        copied_bytes += len(data)
+    return SyncReport(
+        copied=tuple(copied),
+        copied_bytes=copied_bytes,
+        skipped_present=present,
+        skipped_corrupt=tuple(corrupt),
+    )
+
+
+def pull(dst: ResultStore, src: ResultStore, **kwargs) -> SyncReport:
+    """Fetch into *dst* whatever *src* has that *dst* lacks — the same
+    operation as :func:`push` seen from the receiving side."""
+    return push(src, dst, **kwargs)
+
+
+def migrate(src: ResultStore, dst: ResultStore) -> SyncReport:
+    """Copy **every** *src* entry into *dst* and verify completeness.
+
+    The backend-migration path (filesystem → SQLite or back): after the
+    copy, *dst* must contain all of *src* — a partial migration raises
+    instead of silently leaving entries behind.  Payload bytes cross
+    unmodified, so migrating a store and migrating it back reproduces
+    byte-identical entries.
+    """
+    report = push(src, dst)
+    remaining = diff(src, dst).missing_in_dst
+    if remaining:
+        raise ValidationError(
+            f"migration left {len(remaining)} entries behind "
+            f"(first: {remaining[0][:12]}…); source corrupt entries must be "
+            f"healed or invalidated before migrating"
+        )
+    return report

@@ -138,6 +138,131 @@ class TestExperimentFlagValidation:
         assert "PASS" in capsys.readouterr().out
 
 
+class TestStoreCommands:
+    """The `repro store` maintenance group (stats/ls; gc and sync/migrate
+    have their own suites in test_store_gc.py / test_store_sync.py)."""
+
+    def _populate(self, path, trials="2"):
+        assert (
+            main(
+                [
+                    "run",
+                    "uniform-multilateration",
+                    "--seed",
+                    "1",
+                    "--trials",
+                    trials,
+                    "--store",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+
+    def test_stats_reports_backend_and_counts(self, tmp_path, capsys):
+        self._populate(tmp_path / "store")
+        capsys.readouterr()
+        assert main(["store", "stats", "--store", str(tmp_path / "store")]) == 0
+        out = capsys.readouterr().out
+        assert "(filesystem backend)" in out
+        assert "entries: 1" in out
+
+    def test_ls_lists_keys_and_sizes(self, tmp_path, capsys):
+        self._populate(tmp_path / "store")
+        capsys.readouterr()
+        assert main(["store", "ls", "--store", str(tmp_path / "store")]) == 0
+        out = capsys.readouterr().out
+        assert "entries (1," in out
+        assert " B" in out
+
+    def test_ls_shards_uses_the_shard_index(self, tmp_path, capsys):
+        store = str(tmp_path / "store.sqlite")
+        code = main(
+            [
+                "run",
+                "uniform-multilateration",
+                "--seed",
+                "1",
+                "--trials",
+                "6",
+                "--shard",
+                "1/3",
+                "--store",
+                store,
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert main(["store", "ls", "--shards", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "shard entries (1):" in out
+        assert "uniform-multilateration" in out and "shard 1/3" in out
+
+    def test_no_store_exits_2(self, capsys):
+        assert main(["store", "stats", "--no-store"]) == 2
+        assert "store" in capsys.readouterr().err
+
+    def test_ls_negative_limit_exits_2(self, tmp_path, capsys):
+        self._populate(tmp_path / "store")
+        capsys.readouterr()
+        code = main(
+            ["store", "ls", "--store", str(tmp_path / "store"), "--limit", "-1"]
+        )
+        assert code == 2
+        assert "--limit" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("command", ["stats", "ls", "gc"])
+    def test_typoed_path_errors_instead_of_creating_a_store(
+        self, tmp_path, command, capsys
+    ):
+        """Read-only inspection on a mistyped path must fail loudly, not
+        conjure an empty store and report success against it."""
+        typo = tmp_path / "typo.sqlite"
+        assert main(["store", command, "--store", str(typo)]) == 2
+        assert "does not exist" in capsys.readouterr().err
+        assert not typo.exists()
+
+    def test_stats_reports_shard_count_from_sqlite_index(self, tmp_path, capsys):
+        store = str(tmp_path / "store.sqlite")
+        code = main(
+            [
+                "run",
+                "uniform-multilateration",
+                "--seed",
+                "1",
+                "--trials",
+                "6",
+                "--shard",
+                "1/3",
+                "--store",
+                store,
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert main(["store", "stats", "--store", store]) == 0
+        assert "shard entries: 1" in capsys.readouterr().out
+
+    def test_scenario_runs_against_sqlite_store(self, tmp_path, capsys):
+        """`--store path.sqlite` selects the SQLite backend end to end:
+        cold run publishes, warm run is a cache hit."""
+        store = str(tmp_path / "cache.sqlite")
+        args = [
+            "run",
+            "uniform-multilateration",
+            "--seed",
+            "1",
+            "--trials",
+            "2",
+            "--store",
+            store,
+        ]
+        assert main(args) == 0
+        assert "'misses': 1" in capsys.readouterr().out
+        assert main(args) == 0
+        assert "'hits': 1" in capsys.readouterr().out
+
+
 class TestSharding:
     ARGS = ["uniform-multilateration", "--seed", "3", "--trials", "6"]
 

@@ -127,6 +127,14 @@ class TestDefaultStoreRoot:
         monkeypatch.setenv(STORE_ENV_VAR, value)
         assert default_store_root() == self._default
 
+    def test_whitespace_padding_is_stripped_from_the_path(self, monkeypatch, tmp_path):
+        """Regression: the off/empty checks ran on the *stripped* value
+        but the returned path was built from the raw string, so
+        `REPRO_STORE_DIR=" /data/store "` yielded a whitespace-padded
+        root directory."""
+        monkeypatch.setenv(STORE_ENV_VAR, f"  {tmp_path}  ")
+        assert default_store_root() == tmp_path
+
 
 class TestInvalidation:
     def test_invalidate_and_clear(self, store):

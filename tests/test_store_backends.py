@@ -1,0 +1,333 @@
+"""Tests for the pluggable store-backend subsystem.
+
+The load-bearing guarantees: both shipped backends implement the same
+protocol observably identically; payload bytes are **backend-invariant**
+(the store encodes once, backends store verbatim, so a
+filesystem → sqlite → filesystem migration reproduces byte-identical
+entry files); the SQLite backend's indexed metadata answers
+``list_shards``/``len`` without touching payload bytes; and concurrent
+multi-process access never corrupts an entry on either backend.
+"""
+
+import multiprocessing
+import random
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.store import (
+    FilesystemBackend,
+    ResultStore,
+    SQLiteBackend,
+    encode_payload,
+    migrate,
+    open_backend,
+    shard_to_payload,
+)
+from repro.engine.sharding import ShardSpec
+from repro.engine.campaign import TrialRecord
+from repro.engine.sharding import ShardCampaignResult
+
+BACKENDS = ("filesystem", "sqlite")
+
+
+def make_store(tmp_path, backend, name="store", code_version="test-1"):
+    root = tmp_path / (name if backend == "filesystem" else f"{name}.sqlite")
+    return ResultStore(root, code_version=code_version)
+
+
+@pytest.fixture(params=BACKENDS)
+def store(request, tmp_path):
+    return make_store(tmp_path, request.param)
+
+
+def _shard_payload(index, n_shards=3, trials=6, context=True):
+    start = index * (trials // n_shards)
+    result = ShardCampaignResult(
+        master_seed=3,
+        records=tuple(
+            TrialRecord(index=i, metrics={"err": 0.5 * i, "frac": 1.0})
+            for i in range(start, start + trials // n_shards)
+        ),
+        campaign_trials=trials,
+        shard=ShardSpec(index=index, n_shards=n_shards),
+    )
+    ctx = (
+        {"scenario_id": "demo", "spec_hash": "ab" * 32, "code_version": "test-1"}
+        if context
+        else None
+    )
+    return shard_to_payload(result, context=ctx)
+
+
+class TestBackendDetection:
+    def test_directory_opens_filesystem(self, tmp_path):
+        assert isinstance(open_backend(tmp_path / "store"), FilesystemBackend)
+
+    @pytest.mark.parametrize("suffix", [".sqlite", ".sqlite3", ".db"])
+    def test_sqlite_suffix_opens_sqlite(self, tmp_path, suffix):
+        assert isinstance(open_backend(tmp_path / f"store{suffix}"), SQLiteBackend)
+
+    def test_existing_regular_file_opens_sqlite(self, tmp_path):
+        path = tmp_path / "store"  # no suffix, but it is a file
+        ResultStore(tmp_path / "seed.sqlite").put(
+            ResultStore(tmp_path / "seed.sqlite").key_for("x"), {"v": 1}
+        )
+        (tmp_path / "seed.sqlite").rename(path)
+        assert isinstance(open_backend(path), SQLiteBackend)
+
+    def test_result_store_exposes_backend_kind(self, tmp_path):
+        assert ResultStore(tmp_path / "a").backend.kind == "filesystem"
+        assert ResultStore(tmp_path / "a.sqlite").backend.kind == "sqlite"
+
+    def test_non_sqlite_file_rejected_with_clean_error(self, tmp_path):
+        """Pointing a store path at some other existing file must raise
+        ValidationError up front, not sqlite3.DatabaseError mid-query."""
+        bogus = tmp_path / "entry.json.gz"
+        bogus.write_bytes(b"\x1f\x8b not a database")
+        with pytest.raises(ValidationError, match="not a SQLite store"):
+            open_backend(bogus)
+        from repro.__main__ import main
+
+        assert main(["store", "stats", "--store", str(bogus)]) == 2
+
+    def test_damaged_sqlite_store_is_a_clean_cli_error(self, tmp_path):
+        """A truncated copy can keep the magic header but fail at query
+        time; the CLI must exit 2 with a diagnostic, not a traceback."""
+        from repro.__main__ import main
+
+        damaged = tmp_path / "damaged.sqlite"
+        damaged.write_bytes(b"SQLite format 3\x00" + b"\x00" * 100)
+        assert main(["store", "stats", "--store", str(damaged)]) == 2
+
+    def test_directory_with_sqlite_suffix_is_a_clean_error(self, tmp_path):
+        from repro.__main__ import main
+
+        trap = tmp_path / "store.db"
+        trap.mkdir()
+        assert main(["store", "stats", "--store", str(trap)]) == 2
+
+    def test_empty_existing_file_is_a_fresh_sqlite_store(self, tmp_path):
+        path = tmp_path / "empty.db"
+        path.touch()
+        store = ResultStore(path, code_version="test-1")
+        key = store.key_for("x")
+        store.put(key, {"v": 1})
+        assert store.get(key) == {"v": 1}
+
+
+class TestProtocolParity:
+    """Every observable store behavior must be identical across backends."""
+
+    def test_roundtrip_and_stats(self, store):
+        key = store.key_for({"workload": "x"})
+        assert store.get(key) is None
+        store.put(key, {"value": [1.5, 2.0]})
+        assert store.get(key) == {"value": [1.5, 2.0]}
+        assert store.stats.as_dict() == {
+            "hits": 1,
+            "misses": 1,
+            "puts": 1,
+            "invalidations": 0,
+        }
+
+    def test_contains_invalidate_len_clear(self, store):
+        keys = [store.key_for(i) for i in range(3)]
+        for key in keys:
+            store.put(key, {"i": 1})
+        assert all(store.contains(k) for k in keys)
+        assert len(store) == 3
+        assert store.invalidate(keys[0]) is True
+        assert store.invalidate(keys[0]) is False
+        assert not store.contains(keys[0])
+        assert sorted(store.iter_keys()) == sorted(keys[1:])
+        assert store.clear() == 2
+        assert len(store) == 0
+
+    def test_bad_key_rejected(self, store):
+        with pytest.raises(ValidationError):
+            store.get("abc")
+        with pytest.raises(ValidationError):
+            store.put("abc", {})
+        with pytest.raises(ValidationError):
+            store.backend.read_bytes("../../etc/passwd")
+
+    def test_entry_info_reports_stored_size(self, store):
+        key = store.key_for("info")
+        store.put(key, {"v": list(range(50))})
+        info = store.entry_info(key)
+        assert info.key == key
+        assert info.size == len(store.get_bytes(key))
+        assert store.total_bytes() == info.size
+        assert store.entry_info(store.key_for("absent")) is None
+
+    def test_corrupt_entry_is_a_self_healing_miss(self, store):
+        key = store.key_for("corrupt")
+        store.put(key, {"ok": True})
+        store.backend.write_bytes(key, b"\x1f\x8b garbage")
+        assert store.get(key) is None
+        assert not store.contains(key)
+        store.put(key, {"ok": True})
+        assert store.get(key) == {"ok": True}
+
+    def test_list_shards_identical_across_backends(self, tmp_path):
+        fs = make_store(tmp_path, "filesystem")
+        sq = make_store(tmp_path, "sqlite")
+        for target in (fs, sq):
+            for index in range(3):
+                payload = _shard_payload(index)
+                target.put(target.key_for(("shard", index)), payload)
+            # A non-shard entry must never appear in the listing.
+            target.put(
+                target.key_for("plain"),
+                {"type": "campaign", "master_seed": 0, "records": []},
+            )
+        assert fs.list_shards() == sq.list_shards()
+        assert len(fs.list_shards()) == 3
+        assert all(m["campaign_trials"] == 6 for m in fs.list_shards())
+
+    def test_sqlite_shard_index_updates_on_invalidate(self, tmp_path):
+        sq = make_store(tmp_path, "sqlite")
+        key = sq.key_for("shard")
+        sq.put(key, _shard_payload(0))
+        assert len(sq.list_shards()) == 1
+        sq.invalidate(key)
+        assert sq.list_shards() == []
+
+    def test_stray_files_in_shard_dirs_are_ignored(self, tmp_path):
+        """A hand-dropped non-entry file must not surface as a malformed
+        key that aborts clear()/sync/GC with a ValidationError."""
+        from repro.store import collect, push
+
+        fs = make_store(tmp_path, "filesystem")
+        key = fs.key_for("real")
+        fs.put(key, {"v": 1})
+        stray = fs.root / key[:2] / "notes.json.gz"
+        stray.write_bytes(b"not an entry")
+        assert list(fs.iter_keys()) == [key]
+        assert len(fs) == 1
+        collect(fs, max_bytes=0)  # must not raise
+        dst = make_store(tmp_path, "sqlite", name="stray-dst")
+        push(fs, dst)  # must not raise (store already emptied by gc)
+        assert fs.clear() == 0
+        assert stray.exists(), "clear only removes entries it owns"
+
+    def test_republish_replaces_shard_meta(self, store):
+        key = store.key_for("entry")
+        store.put(key, _shard_payload(1))
+        store.put(key, {"type": "campaign", "master_seed": 0, "records": []})
+        assert store.list_shards() == []
+
+
+class TestByteInvariance:
+    """The determinism guarantee the sync/migration services rest on."""
+
+    def test_same_payload_same_bytes_everywhere(self, tmp_path):
+        payload = {
+            "type": "campaign",
+            "master_seed": 7,
+            "records": [
+                {"index": 0, "metrics": {"err": 0.1 + 0.2, "bad": float("nan")}}
+            ],
+        }
+        fs = make_store(tmp_path, "filesystem")
+        sq = make_store(tmp_path, "sqlite")
+        key = fs.key_for("x")
+        fs.put(key, payload)
+        sq.put(key, payload)
+        assert (
+            fs.get_bytes(key)
+            == sq.get_bytes(key)
+            == encode_payload(payload)
+            == fs.path_for(key).read_bytes()
+        )
+
+    def test_migration_round_trip_is_byte_identical(self, tmp_path):
+        """Satellite: filesystem → sqlite → filesystem reproduces
+        byte-identical entry files and identical ``list_shards()``."""
+        origin = make_store(tmp_path, "filesystem", name="origin")
+        for index in range(3):
+            origin.put(origin.key_for(("shard", index)), _shard_payload(index))
+        origin.put(
+            origin.key_for("campaign"),
+            {"type": "campaign", "master_seed": 1, "records": []},
+        )
+        original = {key: origin.get_bytes(key) for key in origin.iter_keys()}
+
+        middle = make_store(tmp_path, "sqlite", name="middle")
+        migrate(origin, middle)
+        final = make_store(tmp_path, "filesystem", name="final")
+        migrate(middle, final)
+
+        assert sorted(final.iter_keys()) == sorted(original)
+        for key, data in original.items():
+            assert final.get_bytes(key) == data
+            assert final.path_for(key).read_bytes() == data
+        assert final.list_shards() == origin.list_shards()
+
+    def test_path_for_rejected_on_sqlite(self, tmp_path):
+        sq = make_store(tmp_path, "sqlite")
+        with pytest.raises(ValidationError):
+            sq.path_for(sq.key_for("x"))
+        with pytest.raises(ValidationError):
+            list(sq.iter_entries())
+
+
+def _payload_table():
+    """Shared keys and their (fixed, NaN-free) payloads for the hammer."""
+    table = {}
+    for i in range(6):
+        payload = {
+            "type": "campaign",
+            "master_seed": i,
+            "records": [
+                {"index": j, "metrics": {"err": 0.25 * j + i}} for j in range(40)
+            ],
+        }
+        table[f"payload-{i}"] = payload
+    return table
+
+
+def _hammer_worker(args):
+    """Race put/get/invalidate on shared keys; any torn read fails."""
+    root, seed, rounds = args
+    store = ResultStore(root, code_version="hammer")
+    table = {store.key_for(name): payload for name, payload in _payload_table().items()}
+    rng = random.Random(seed)
+    keys = sorted(table)
+    for _ in range(rounds):
+        key = rng.choice(keys)
+        dice = rng.random()
+        if dice < 0.45:
+            store.put(key, table[key])
+        elif dice < 0.9:
+            got = store.get(key)
+            if got is not None and got != table[key]:
+                return f"corrupt read for {key[:12]}"
+        else:
+            store.invalidate(key)
+    return None
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_concurrent_process_access_never_corrupts(tmp_path, backend):
+    """Satellite: hammer put/get/invalidate on the same keys from a
+    process pool against both backends — no corrupt reads, and every
+    surviving entry holds exactly the canonical payload bytes."""
+    store = make_store(tmp_path, backend, name="hammer", code_version="hammer")
+    table = {store.key_for(name): payload for name, payload in _payload_table().items()}
+    for key, payload in table.items():
+        store.put(key, payload)
+
+    jobs = [(store.root, seed, 80) for seed in range(4)]
+    with multiprocessing.Pool(processes=4) as pool:
+        failures = [f for f in pool.map(_hammer_worker, jobs) if f]
+    assert not failures
+
+    for key, payload in table.items():
+        data = store.get_bytes(key)
+        if data is not None:  # survived the invalidation crossfire
+            assert data == encode_payload(payload)
+    if backend == "filesystem":
+        assert not list(store.root.rglob("*.tmp"))

@@ -1,0 +1,268 @@
+"""Tests for store garbage collection (`repro.store.gc`) and its CLI.
+
+Pins the eviction contract: GC brings the store under the byte budget
+evicting least-recently-accessed entries first, never touches pinned
+keys (even when that means missing the budget), sweeps only *orphaned*
+``.tmp``/``.quarantine`` staging files — a fresh file a live writer may
+still be staging survives — and a dry run deletes nothing.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.__main__ import main
+from repro.store import DEFAULT_GRACE_SECONDS, ResultStore, collect
+
+from test_store_backends import BACKENDS, make_store
+
+
+def _put_sized(store, name, n_values=40):
+    key = store.key_for(name)
+    store.put(key, {"tag": name, "values": [0.125 * i for i in range(n_values)]})
+    return key
+
+
+def _set_accessed(store, key, when):
+    """Force *key*'s recorded access time (test clock control)."""
+    if store.backend.kind == "filesystem":
+        os.utime(store.path_for(key), (when, when))
+    else:
+        with store.backend._lock:
+            store.backend._conn().execute(
+                "UPDATE entries SET accessed_at = ? WHERE key = ?", (when, key)
+            )
+
+
+@pytest.fixture(params=BACKENDS)
+def store(request, tmp_path):
+    return make_store(tmp_path, request.param)
+
+
+class TestEviction:
+    def test_no_budget_means_no_eviction(self, store):
+        _put_sized(store, "a")
+        report = collect(store)
+        assert report.evicted == () and report.under_budget
+        assert len(store) == 1
+
+    def test_evicts_lru_first_down_to_budget(self, store):
+        now = time.time()
+        keys = [_put_sized(store, f"e{i}") for i in range(4)]
+        sizes = {k: store.entry_info(k).size for k in keys}
+        # e0 oldest … e3 newest.
+        for age, key in enumerate(reversed(keys)):
+            _set_accessed(store, key, now - 100.0 * (age + 1))
+        budget = sum(sizes.values()) - 1  # forces exactly one eviction
+        report = collect(store, max_bytes=budget, now=now)
+        assert report.evicted == (keys[0],)
+        assert report.under_budget
+        assert not store.contains(keys[0]) and all(
+            store.contains(k) for k in keys[1:]
+        )
+        assert store.total_bytes() == report.bytes_after <= budget
+
+    def test_reads_refresh_lru_position(self, store):
+        """A get() marks an entry recently used, steering eviction to
+        colder entries."""
+        now = time.time()
+        hot, cold = _put_sized(store, "hot"), _put_sized(store, "cold")
+        for key in (hot, cold):
+            _set_accessed(store, key, now - 1000.0)
+        assert store.get(hot) is not None  # touches the access stamp
+        budget = store.total_bytes() - 1
+        report = collect(store, max_bytes=budget)
+        assert report.evicted == (cold,)
+        assert store.contains(hot)
+
+    def test_pinned_keys_survive_any_budget(self, store):
+        pinned = _put_sized(store, "golden")
+        victim = _put_sized(store, "victim")
+        report = collect(store, max_bytes=0, pinned=[pinned])
+        assert pinned not in report.evicted
+        assert report.evicted == (victim,)
+        assert store.contains(pinned)
+        assert report.pinned_kept == 1
+        assert not report.under_budget  # pinned entry alone exceeds 0 bytes
+        assert "pinned" in report.summary()
+
+    def test_dry_run_deletes_nothing(self, store):
+        keys = [_put_sized(store, f"d{i}") for i in range(3)]
+        report = collect(store, max_bytes=0, dry_run=True)
+        assert set(report.evicted) == set(keys)
+        assert len(store) == 3
+        assert report.dry_run and "would evict" in report.summary()
+
+    def test_eviction_counts_as_invalidation(self, store):
+        _put_sized(store, "x")
+        collect(store, max_bytes=0)
+        assert store.stats.invalidations == 1
+
+    def test_malformed_pin_rejected_loudly(self, store):
+        """A truncated/typo'd pin can never match, so the protection it
+        was meant to buy would silently not exist."""
+        from repro.errors import ValidationError
+
+        _put_sized(store, "x")
+        with pytest.raises(ValidationError):
+            collect(store, max_bytes=0, pinned=["abc123"])
+
+    def test_unmatched_pin_is_reported(self, store):
+        real = _put_sized(store, "x")
+        ghost = store.key_for("never-stored")
+        report = collect(store, max_bytes=0, pinned=[real, ghost])
+        assert report.pins_unmatched == (ghost,)
+        assert "matched no entry" in report.summary()
+        assert store.contains(real)
+
+    def test_concurrently_vanished_entry_does_not_cause_over_eviction(
+        self, store, monkeypatch
+    ):
+        """Regression: when a racing GC already evicted an entry,
+        invalidate() returns False — its size must still come off the
+        running total, or this pass evicts live entries to pay for
+        bytes nobody holds anymore."""
+        now = time.time()
+        first = _put_sized(store, "vanishing")
+        second = _put_sized(store, "survivor")
+        _set_accessed(store, first, now - 200.0)
+        _set_accessed(store, second, now - 100.0)
+        budget = store.entry_info(second).size + 1
+
+        real_invalidate = store.invalidate
+
+        def racing_invalidate(key):
+            if key == first:  # the other GC got here first
+                store.backend.delete(key)
+                return False
+            return real_invalidate(key)
+
+        monkeypatch.setattr(store, "invalidate", racing_invalidate)
+        report = collect(store, max_bytes=budget, now=now)
+        assert report.evicted == ()  # the vanished entry already paid the budget
+        assert store.contains(second)
+        assert report.under_budget
+
+    def test_sqlite_eviction_shrinks_the_database_file(self, tmp_path):
+        """Deleted rows only reach SQLite's freelist; GC must compact so
+        a disk-size budget actually frees disk."""
+        store = make_store(tmp_path, "sqlite")
+        keep = _put_sized(store, "keep", n_values=50)
+        for i in range(20):
+            _put_sized(store, f"bulk-{i}", n_values=4000)
+
+        def disk_size():  # main db + WAL/shm sidecars
+            return sum(
+                p.stat().st_size
+                for suffix in ("", "-wal", "-shm")
+                for p in [store.root.with_name(store.root.name + suffix)]
+                if p.exists()
+            )
+
+        before = disk_size()
+        budget = store.entry_info(keep).size + 1
+        report = collect(store, max_bytes=budget, pinned=[keep])
+        assert report.under_budget and store.contains(keep)
+        after = disk_size()
+        assert after < before / 2, (before, after)
+
+
+class TestOrphanSweep:
+    """Satellite: crashed writers leave ``.tmp``/``.quarantine`` files
+    behind forever — nothing on the read/write path ever deletes them —
+    so the GC sweep must, while spending a grace window on files a live
+    writer may still be staging."""
+
+    def _orphan(self, store, key, suffix, age, now):
+        path = store.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        orphan = path.parent / f".{path.name}.12345.{os.urandom(4).hex()}.{suffix}"
+        orphan.write_bytes(b"partial write")
+        os.utime(orphan, (now - age, now - age))
+        return orphan
+
+    def test_old_orphans_swept_fresh_kept(self, tmp_path):
+        store = make_store(tmp_path, "filesystem")
+        key = _put_sized(store, "entry")
+        now = time.time()
+        stale_tmp = self._orphan(store, key, "tmp", age=7200.0, now=now)
+        stale_quarantine = self._orphan(store, key, "quarantine", age=7200.0, now=now)
+        fresh_tmp = self._orphan(store, key, "tmp", age=1.0, now=now)
+
+        report = collect(store, grace_seconds=DEFAULT_GRACE_SECONDS, now=now)
+        assert sorted(report.swept_orphans) == sorted(
+            [stale_tmp.name, stale_quarantine.name]
+        )
+        assert not stale_tmp.exists() and not stale_quarantine.exists()
+        assert fresh_tmp.exists(), "a live writer's staging file must survive"
+        assert store.contains(key), "published entries are not the sweep's business"
+
+    def test_dry_run_previews_sweep_without_deleting(self, tmp_path):
+        """The dry-run report must disclose the orphans a real run will
+        delete — not silently understate it — while deleting nothing."""
+        store = make_store(tmp_path, "filesystem")
+        key = _put_sized(store, "entry")
+        now = time.time()
+        stale = self._orphan(store, key, "tmp", age=7200.0, now=now)
+        report = collect(store, now=now, dry_run=True)
+        assert report.swept_orphans == (stale.name,)
+        assert "would sweep 1" in report.summary()
+        assert stale.exists()
+
+    def test_sqlite_backend_has_no_orphans(self, tmp_path):
+        store = make_store(tmp_path, "sqlite")
+        _put_sized(store, "entry")
+        report = collect(store)
+        assert report.swept_orphans == ()
+
+
+class TestCliGc:
+    def test_gc_brings_store_under_budget(self, tmp_path, capsys):
+        store = make_store(tmp_path, "filesystem", code_version=None)
+        for i in range(4):
+            _put_sized(store, f"e{i}")
+        budget = store.total_bytes() // 2
+        code = main(
+            ["store", "gc", "--store", str(store.root), "--max-bytes", str(budget)]
+        )
+        assert code == 0
+        assert "evicted" in capsys.readouterr().out
+        assert store.total_bytes() <= budget
+
+    def test_gc_pinned_over_budget_exits_1(self, tmp_path, capsys):
+        store = make_store(tmp_path, "filesystem", code_version=None)
+        pinned = _put_sized(store, "golden")
+        code = main(
+            [
+                "store",
+                "gc",
+                "--store",
+                str(store.root),
+                "--max-bytes",
+                "0",
+                "--pin",
+                pinned,
+            ]
+        )
+        assert code == 1
+        assert store.contains(pinned)
+        assert "pinned" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [("500000", 500000), ("64K", 64 * 1024), ("256M", 256 * 1024**2), ("2G", 2 * 1024**3)],
+    )
+    def test_size_suffixes(self, text, expected):
+        from repro.__main__ import _parse_size
+
+        assert _parse_size(text) == expected
+
+    def test_bad_size_exits_2(self, tmp_path, capsys):
+        store = make_store(tmp_path, "filesystem", code_version=None)
+        _put_sized(store, "x")
+        code = main(
+            ["store", "gc", "--store", str(store.root), "--max-bytes", "lots"]
+        )
+        assert code == 2
+        assert "sizes look like" in capsys.readouterr().err

@@ -1,0 +1,170 @@
+"""Tests for cross-store sync (`repro.store.sync`) and its CLI surface.
+
+Entries are immutable content-addressed values, so syncing two stores is
+a conflict-free set union; these tests pin that the union happens
+byte-verbatim across any backend pair, that corrupt source entries never
+propagate, and that the two-host shard workflow (shard on separate
+stores → sync → merge) produces the canonical entry byte-identically.
+"""
+
+import pytest
+
+from repro.__main__ import main
+from repro.scenarios import get_scenario, run_scenario, scenario_run_key
+from repro.store import ResultStore, StoreDiff, diff, migrate, pull, push
+
+from test_store_backends import BACKENDS, make_store
+
+
+def _fill(store, names):
+    keys = {}
+    for name in names:
+        key = store.key_for(name)
+        store.put(key, {"type": "campaign", "master_seed": 0, "records": [], "tag": name})
+        keys[name] = key
+    return keys
+
+
+class TestDiff:
+    def test_disjoint_overlapping_and_empty(self, tmp_path):
+        a = make_store(tmp_path, "filesystem", name="a")
+        b = make_store(tmp_path, "sqlite", name="b")
+        keys_a = _fill(a, ["only-a", "both"])
+        _fill(b, ["only-b", "both"])
+        d = diff(a, b)
+        assert d.missing_in_dst == (keys_a["only-a"],)
+        assert len(d.missing_in_src) == 1
+        assert d.common == 1
+        assert not d.in_sync
+        assert diff(a, a) == StoreDiff((), (), 2)
+        assert diff(a, a).in_sync
+
+
+@pytest.mark.parametrize("src_backend", BACKENDS)
+@pytest.mark.parametrize("dst_backend", BACKENDS)
+class TestPushAcrossBackendPairs:
+    def test_push_copies_missing_byte_verbatim(self, tmp_path, src_backend, dst_backend):
+        src = make_store(tmp_path, src_backend, name="src")
+        dst = make_store(tmp_path, dst_backend, name="dst")
+        keys = _fill(src, ["x", "y"])
+        _fill(dst, ["y"])
+        report = push(src, dst)
+        assert set(report.copied) == {keys["x"]}
+        assert report.skipped_present == 1
+        assert report.skipped_corrupt == ()
+        assert diff(src, dst).missing_in_dst == ()
+        for key in keys.values():
+            assert dst.get_bytes(key) == src.get_bytes(key)
+
+    def test_pull_is_push_reversed(self, tmp_path, src_backend, dst_backend):
+        src = make_store(tmp_path, src_backend, name="src")
+        dst = make_store(tmp_path, dst_backend, name="dst")
+        keys = _fill(src, ["x"])
+        report = pull(dst, src)
+        assert set(report.copied) == set(keys.values())
+        assert dst.get_bytes(keys["x"]) == src.get_bytes(keys["x"])
+
+
+class TestCorruptionHandling:
+    def test_corrupt_source_entry_is_not_propagated(self, tmp_path):
+        src = make_store(tmp_path, "filesystem", name="src")
+        dst = make_store(tmp_path, "sqlite", name="dst")
+        keys = _fill(src, ["good", "bad"])
+        src.backend.write_bytes(keys["bad"], b"\x1f\x8b torn")
+        report = push(src, dst)
+        assert set(report.copied) == {keys["good"]}
+        assert report.skipped_corrupt == (keys["bad"],)
+        assert not dst.contains(keys["bad"])
+
+    def test_migrate_refuses_to_silently_drop_corrupt_entries(self, tmp_path):
+        from repro.errors import ValidationError
+
+        src = make_store(tmp_path, "filesystem", name="src")
+        dst = make_store(tmp_path, "sqlite", name="dst")
+        keys = _fill(src, ["bad"])
+        src.backend.write_bytes(keys["bad"], b"not even gzip")
+        with pytest.raises(ValidationError, match="left 1 entries behind"):
+            migrate(src, dst)
+
+
+class TestTwoHostShardWorkflow:
+    """The subsystem's reason to exist: physically separate hosts
+    exchange shard entries through sync, then merge."""
+
+    SCENARIO = "uniform-multilateration"
+    ARGS = ["--seed", "3", "--trials", "6"]
+
+    def _canonical_bytes(self, store):
+        # The CLI published under the default code version — re-open the
+        # store with it so key_for addresses the same entry.
+        cli_view = ResultStore(store.root)
+        spec = get_scenario(self.SCENARIO)
+        key = cli_view.key_for(scenario_run_key(spec, master_seed=3, n_trials=6))
+        data = cli_view.get_bytes(key)
+        assert data is not None, "canonical campaign entry missing"
+        return data
+
+    @pytest.mark.parametrize("merge_backend", BACKENDS)
+    def test_sync_then_merge_matches_single_host(self, tmp_path, merge_backend):
+        host_a = make_store(tmp_path, merge_backend, name="host-a")
+        host_b = make_store(tmp_path, "filesystem", name="host-b")
+        run = ["run", self.SCENARIO, *self.ARGS]
+        assert main([*run, "--shard", "1/3", "--store", str(host_a.root)]) == 0
+        assert main([*run, "--shard", "2/3", "--store", str(host_a.root)]) == 0
+        assert main([*run, "--shard", "3/3", "--store", str(host_b.root)]) == 0
+
+        assert main(["store", "sync", str(host_b.root), str(host_a.root)]) == 0
+        code = main(
+            [
+                "merge",
+                self.SCENARIO,
+                *self.ARGS,
+                "--shards",
+                "3",
+                "--store",
+                str(host_a.root),
+            ]
+        )
+        assert code == 0
+
+        single = ResultStore(tmp_path / "single")
+        run_scenario(
+            get_scenario(self.SCENARIO), master_seed=3, n_trials=6, store=single
+        )
+        assert self._canonical_bytes(host_a) == self._canonical_bytes(single)
+
+    def test_two_way_sync_equalizes_stores(self, tmp_path, capsys):
+        a = make_store(tmp_path, "filesystem", name="a")
+        b = make_store(tmp_path, "sqlite", name="b")
+        _fill(a, ["only-a"])
+        _fill(b, ["only-b"])
+        assert main(["store", "sync", str(a.root), str(b.root), "--two-way"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("copied 1 entries") == 2
+        assert diff(a, b).in_sync
+
+
+class TestCliSourceValidation:
+    """A typo'd SRC must fail loudly, not open an empty store and
+    'successfully' copy nothing."""
+
+    @pytest.mark.parametrize("command", ["sync", "migrate"])
+    def test_nonexistent_src_exits_2(self, tmp_path, command, capsys):
+        code = main(
+            ["store", command, str(tmp_path / "no-such-store"), str(tmp_path / "dst")]
+        )
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().err
+        assert not (tmp_path / "dst").exists()
+
+
+class TestCliMigrate:
+    def test_migrate_command_reports_backends(self, tmp_path, capsys):
+        src = make_store(tmp_path, "filesystem", name="src")
+        _fill(src, ["x", "y"])
+        dst_path = tmp_path / "dst.sqlite"
+        assert main(["store", "migrate", str(src.root), str(dst_path)]) == 0
+        out = capsys.readouterr().out
+        assert "(filesystem)" in out and "(sqlite)" in out
+        assert "copied 2 entries" in out
+        assert len(ResultStore(dst_path)) == 2

@@ -16,36 +16,11 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import subprocess
 import sys
 import tempfile
 from pathlib import Path
 
-
-def run_cli(args: list, store: Path) -> None:
-    command = [sys.executable, "-m", "repro", *args, "--store", str(store)]
-    result = subprocess.run(command, capture_output=True, text=True)
-    if result.returncode != 0:
-        sys.exit(
-            f"command failed ({result.returncode}): {' '.join(command)}\n"
-            f"{result.stdout}{result.stderr}"
-        )
-
-
-def entry_bytes(store: Path, scenario_id: str, seed: int, trials: int) -> bytes:
-    from repro.scenarios import get_scenario, scenario_run_key
-    from repro.store import ResultStore
-
-    result_store = ResultStore(store)
-    key = result_store.key_for(
-        scenario_run_key(
-            get_scenario(scenario_id), master_seed=seed, n_trials=trials
-        )
-    )
-    path = result_store.path_for(key)
-    if not path.is_file():
-        sys.exit(f"no canonical campaign entry at {path}")
-    return path.read_bytes()
+from _gate_common import entry_bytes, run_cli
 
 
 def main() -> int:

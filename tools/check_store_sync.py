@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""CI gate: two-root sharded campaign + sync + merge matches the golden.
+
+The cross-host story end to end, driven through the real CLI: a 3-shard
+campaign is split across two physically separate store roots (shards 1-2
+on "host A", shard 3 on "host B"), the roots are reconciled with
+``python -m repro store sync``, merged on host A, and the canonical
+campaign entry must be byte-identical to a single-host run's entry.
+Runs the whole flow twice — once with host A on the filesystem backend
+and once with host A on the SQLite backend — so the gate also pins the
+backend-invariance guarantee (payload bytes identical through any
+backend).  Exits non-zero with a diagnostic on any mismatch.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_store_sync.py
+    PYTHONPATH=src python tools/check_store_sync.py --scenario town-multilateration --trials 9
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+from _gate_common import entry_bytes, run_cli
+
+
+def check_backend(tag: str, host_a: Path, host_b: Path, golden: bytes, args) -> None:
+    base = [
+        "run",
+        args.scenario,
+        "--seed",
+        str(args.seed),
+        "--trials",
+        str(args.trials),
+    ]
+    run_cli([*base, "--shard", "1/3"], host_a)
+    run_cli([*base, "--shard", "2/3"], host_a)
+    run_cli([*base, "--shard", "3/3"], host_b)
+    run_cli(["store", "sync", str(host_b), str(host_a)])
+    run_cli(
+        [
+            "merge",
+            args.scenario,
+            "--seed",
+            str(args.seed),
+            "--trials",
+            str(args.trials),
+            "--shards",
+            "3",
+        ],
+        host_a,
+    )
+    merged = entry_bytes(host_a, args.scenario, args.seed, args.trials)
+    if merged != golden:
+        sys.exit(
+            f"FAIL [{tag}]: two-root synced + merged entry of {args.scenario} "
+            f"(seed={args.seed}, trials={args.trials}) is not byte-identical "
+            f"to the single-host golden ({len(merged)} vs {len(golden)} bytes)"
+        )
+    print(
+        f"ok [{tag}]: two-root 3-shard sync + merge of {args.scenario} is "
+        f"byte-identical to the single-host golden ({len(golden)} bytes)"
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scenario", default="uniform-multilateration")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--trials", type=int, default=6)
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_path = Path(tmp)
+        single = tmp_path / "single"
+        run_cli(
+            [
+                "run",
+                args.scenario,
+                "--seed",
+                str(args.seed),
+                "--trials",
+                str(args.trials),
+            ],
+            single,
+        )
+        golden = entry_bytes(single, args.scenario, args.seed, args.trials)
+        check_backend(
+            "filesystem hostA",
+            tmp_path / "host-a",
+            tmp_path / "host-b",
+            golden,
+            args,
+        )
+        check_backend(
+            "sqlite hostA",
+            tmp_path / "host-a.sqlite",
+            tmp_path / "host-b2",
+            golden,
+            args,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
