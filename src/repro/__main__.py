@@ -23,6 +23,12 @@ Subcommands
     ``migrate SRC DST`` (move a store between backends byte-identically).
     Store paths accept both backend forms: a directory is the
     filesystem layout, a ``.sqlite``/``.db`` path the SQLite backend.
+``trace <subcommand>``
+    Inspect telemetry traces written by ``run --trace PATH`` (or the
+    ``REPRO_TRACE`` environment variable): ``summarize`` renders one
+    trace's span tree, counters, and scheduler decisions; ``compare``
+    diffs two traces' phase times and counters.  Tracing never changes
+    results — see determinism guarantee #8 in ``docs/architecture.md``.
 
 Examples::
 
@@ -31,6 +37,9 @@ Examples::
     python -m repro run town-multilateration --workers 4 --trials 32
     python -m repro run uniform-multilateration --adaptive --tolerance 0.1
     python -m repro run town-multilateration --shard 2/3
+    python -m repro run fig16 --trace t.jsonl
+    python -m repro trace summarize t.jsonl
+    python -m repro trace compare baseline.jsonl current.jsonl
     python -m repro merge town-multilateration --shards 3
     python -m repro store stats
     python -m repro store gc --max-bytes 256M
@@ -41,9 +50,12 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional
 
+from . import telemetry
+from .engine.campaign import CampaignResult
 from .engine.scheduler import ConfidenceStop, ScheduledCampaignResult
 from .engine.sharding import ShardSpec
 from .errors import ValidationError
@@ -59,7 +71,13 @@ from .scenarios import (
 )
 from .store import ResultStore, default_store_root
 from .store.gc import DEFAULT_GRACE_SECONDS, collect
+from .store.result_store import default_code_version
 from .store.sync import diff, migrate, push
+
+#: Environment variable naming a trace file to write for every
+#: ``repro run`` (the ``--trace`` flag takes precedence when both are
+#: set; empty/whitespace values mean unset).
+TRACE_ENV_VAR = "REPRO_TRACE"
 
 #: Flags only meaningful for scenario campaigns (flag, argparse attr).
 #: An experiment run that sets any of them gets a clear usage error
@@ -145,6 +163,28 @@ def _build_parser():
         help="run only shard K of an N-way cross-host split (e.g. 2/3); "
         "requires the result store and a fixed trial count",
     )
+    run.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a JSONL telemetry trace of this run to PATH (also "
+        f"via ${TRACE_ENV_VAR}; inspect with `repro trace summarize`)",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="inspect telemetry traces written by `run --trace`"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_sub.add_parser(
+        "summarize",
+        help="render a trace: span tree, counters, scheduler decisions",
+    )
+    summarize.add_argument("path", metavar="TRACE", help="JSONL trace file")
+    compare = trace_sub.add_parser(
+        "compare", help="diff two traces' phase times and counters"
+    )
+    compare.add_argument("a", metavar="A", help="baseline trace")
+    compare.add_argument("b", metavar="B", help="comparison trace")
 
     merge = sub.add_parser(
         "merge",
@@ -529,7 +569,50 @@ def _open_store(args) -> Optional[ResultStore]:
     return None if root is None else ResultStore(root)
 
 
+def _print_store_line(store: ResultStore) -> None:
+    """Completion line surfacing the run's cache behavior directly
+    (previously visible only through `repro store stats`)."""
+    stats = store.stats
+    print(
+        f"store: {store.root} ({store.backend.kind} backend) "
+        f"hits={stats.hits} misses={stats.misses} puts={stats.puts}"
+    )
+
+
+def _print_nan_warning(result: CampaignResult) -> None:
+    """Flag silently-degraded campaigns: trials whose metrics include a
+    non-finite value would otherwise surface only in the per-metric
+    ``nan=`` columns (or nowhere, if nobody reads them)."""
+    if result.n_nan_trials:
+        print(
+            f"warning: {result.n_nan_trials} of {result.n_trials} trials "
+            f"reported non-finite metrics (see the nan= columns above)"
+        )
+
+
+def _resolve_trace_path(args) -> Optional[str]:
+    """``--trace PATH``, else ``$REPRO_TRACE`` (empty means unset)."""
+    if getattr(args, "trace", None):
+        return args.trace
+    configured = os.environ.get(TRACE_ENV_VAR, "").strip()
+    return configured or None
+
+
 def _cmd_run(args, run_parser) -> int:
+    trace_path = _resolve_trace_path(args)
+    if trace_path is None:
+        return _cmd_run_inner(args, run_parser)
+    with telemetry.recording() as recorder:
+        recorder.set_manifest(
+            argv=["run", args.id], code_version=default_code_version()
+        )
+        code = _cmd_run_inner(args, run_parser)
+        written = recorder.write(trace_path)
+    print(f"trace: {written} records -> {trace_path}")
+    return code
+
+
+def _cmd_run_inner(args, run_parser) -> int:
     experiments = all_experiments()
     scenarios = all_scenarios()
     if args.id in experiments:
@@ -549,12 +632,21 @@ def _cmd_run(args, run_parser) -> int:
             )
             return 2
         seed = DEFAULT_SEED if args.seed is None else args.seed
-        result = get_experiment(args.id)(seed)
+        telemetry.set_manifest(
+            kind="experiment", experiment_id=args.id, master_seed=int(seed)
+        )
+        with telemetry.span("experiment", id=args.id, seed=int(seed)):
+            result = get_experiment(args.id)(seed)
         print(result.summary())
         return 0 if result.passed else 1
     if args.id in scenarios:
         spec = get_scenario(args.id)
         store = _open_store(args)
+        telemetry.set_manifest(kind="scenario")
+        if store is not None:
+            telemetry.set_manifest(
+                store_backend=store.backend.kind, store_root=str(store.root)
+            )
         if args.shard is not None:
             return _run_scenario_shard(args, spec, store)
         stopping = None
@@ -571,10 +663,14 @@ def _cmd_run(args, run_parser) -> int:
         )
         print(f"scenario: {spec.scenario_id} [{spec.spec_hash()[:12]}]")
         print(result.summary())
+        _print_nan_warning(result)
         if isinstance(result, ScheduledCampaignResult):
-            print(f"scheduler: {result.stop_reason}")
+            print(
+                f"scheduler: {result.stop_reason} (early stop saved "
+                f"{result.trials_saved} of {result.max_trials} budgeted trials)"
+            )
         if store is not None:
-            print(f"store: {store.root} {store.stats.as_dict()}")
+            _print_store_line(store)
         return 0
     print(
         f"unknown id {args.id!r}; run `python -m repro list` for "
@@ -582,6 +678,20 @@ def _cmd_run(args, run_parser) -> int:
         file=sys.stderr,
     )
     return 2
+
+
+def _cmd_trace(args) -> int:
+    from .telemetry.report import compare_traces, summarize_trace
+
+    if args.trace_command == "summarize":
+        manifest, records = telemetry.read_trace(args.path)
+        print(f"trace: {args.path} ({1 + len(records)} records)")
+        print(summarize_trace(manifest, records))
+        return 0
+    trace_a = telemetry.read_trace(args.a)
+    trace_b = telemetry.read_trace(args.b)
+    print(compare_traces(trace_a, trace_b, label_a=args.a, label_b=args.b))
+    return 0
 
 
 def _run_scenario_shard(args, spec, store: Optional[ResultStore]) -> int:
@@ -622,6 +732,7 @@ def _run_scenario_shard(args, spec, store: Optional[ResultStore]) -> int:
     print(f"scenario: {spec.scenario_id} [{spec.spec_hash()[:12]}]")
     print(shard_result.describe())
     print(shard_result.summary())
+    _print_nan_warning(shard_result)
     if merged is not None:
         print(
             f"merge: all {shard.n_shards} shards present; canonical "
@@ -637,7 +748,7 @@ def _run_scenario_shard(args, spec, store: Optional[ResultStore]) -> int:
         )
         missing = [s.cli_form for s, present in status if not present]
         print(f"merge: waiting on shards {', '.join(missing)}")
-    print(f"store: {store.root} {store.stats.as_dict()}")
+    _print_store_line(store)
     return 0
 
 
@@ -675,7 +786,8 @@ def _cmd_merge(args) -> int:
         f"merge: {args.shards} shards -> canonical campaign entry published"
     )
     print(merged.summary())
-    print(f"store: {store.root} {store.stats.as_dict()}")
+    _print_nan_warning(merged)
+    _print_store_line(store)
     return 0
 
 
@@ -687,6 +799,8 @@ def main(argv=None) -> int:
     try:
         if args.command == "list":
             return _cmd_list(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         if args.command == "merge":
             return _cmd_merge(args)
         if args.command == "store":

@@ -43,6 +43,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import telemetry
 from ..errors import ValidationError
 
 __all__ = [
@@ -157,6 +158,18 @@ def _finish_scalar(
     return pos, current
 
 
+def _count_kernel(
+    name: str, n_problems: int, iterations: int, compactions: Optional[int] = None
+) -> None:
+    """One counter bundle per kernel *call* (never per epoch), so the
+    disabled-telemetry path stays a handful of no-op calls per solve."""
+    telemetry.count(f"engine.batch.{name}_solves", 1)
+    telemetry.count(f"engine.batch.{name}_problems", n_problems)
+    telemetry.count(f"engine.batch.{name}_iterations", iterations)
+    if compactions is not None:
+        telemetry.count(f"engine.batch.{name}_compactions", compactions)
+
+
 def batch_gradient_descent(
     anchors: np.ndarray,
     dists: np.ndarray,
@@ -204,8 +217,11 @@ def batch_gradient_descent(
     pos = initial.astype(float).copy()
     current = _batch_objective(pos, a, d, sqrt_w)
     alpha = np.full(total, float(step_size))
+    iterations_run = 0
+    compactions = 0
 
     for iteration in range(max_iterations):
+        iterations_run = iteration + 1
         diff = pos[:, None, :] - a
         ranges = np.maximum(np.hypot(diff[..., 0], diff[..., 1]), 1e-12)
         coeff = w2 * (ranges - d) / ranges
@@ -222,11 +238,13 @@ def batch_gradient_descent(
         finished = ~improved & (~not_converged | (alpha < 1e-12))
 
         if finished.any():
+            compactions += 1
             done_idx = remaining[finished]
             pos_out[done_idx] = pos[finished]
             res_out[done_idx] = current[finished]
             keep = ~finished
             if not keep.any():
+                _count_kernel("gd", total, iterations_run, compactions)
                 return pos_out, res_out
             remaining = remaining[keep]
             pos = pos[keep]
@@ -255,10 +273,12 @@ def batch_gradient_descent(
                     )
                     pos_out[remaining[t]] = p
                     res_out[remaining[t]] = c
+                _count_kernel("gd", total, iterations_run, compactions)
                 return pos_out, res_out
 
     pos_out[remaining] = pos
     res_out[remaining] = current
+    _count_kernel("gd", total, iterations_run, compactions)
     return pos_out, res_out
 
 
@@ -616,8 +636,10 @@ def batch_lss_descend(
     stall = np.zeros(n_batch, dtype=np.int64)
     active = np.ones(n_batch, dtype=bool)
     converged = np.zeros(n_batch, dtype=bool)
+    epochs_run = 0
 
     for _ in range(max_epochs):
+        epochs_run += 1
         grad = _lss_gradient_t(pts_t, edges, constraint_pairs, min_spacing_m, constraint_weight)
         grad[frozen] = 0.0
         velocity_new = momentum * velocity - alpha[None, :, None] * grad
@@ -648,6 +670,7 @@ def batch_lss_descend(
         active &= ~newly_done
         if not active.any():
             break
+    _count_kernel("lss", n_batch, epochs_run)
     return pts_t.transpose(1, 0, 2), current, converged
 
 
@@ -995,8 +1018,11 @@ def batch_lss_descend_padded(
     alpha = np.full(total, float(step_size))
     velocity = np.zeros_like(pts)
     stall = np.zeros(total, dtype=np.int64)
+    epochs_run = 0
+    compactions = 0
 
     for _ in range(max_epochs):
+        epochs_run += 1
         flat_grad = _lss_gradient_flat(
             flat_pts, fi, fj, edge_scatter, dists, weights,
             cfi, cfj, constraint_scatter, cvalid,
@@ -1024,12 +1050,14 @@ def batch_lss_descend_padded(
 
         finished = (rejected & (alpha < 1e-14)) | (stall >= patience)
         if finished.any():
+            compactions += 1
             done_idx = remaining[finished]
             pts_out[done_idx] = pts[finished]
             err_out[done_idx] = current[finished]
             conv_out[done_idx] = True
             keep = ~finished
             if not keep.any():
+                _count_kernel("lss_padded", total, epochs_run, compactions)
                 return pts_out, err_out, conv_out
             remaining = remaining[keep]
             pts = np.ascontiguousarray(pts[keep])
@@ -1049,6 +1077,7 @@ def batch_lss_descend_padded(
 
     pts_out[remaining] = pts
     err_out[remaining] = current
+    _count_kernel("lss_padded", total, epochs_run, compactions)
     return pts_out, err_out, conv_out
 
 

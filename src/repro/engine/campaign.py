@@ -25,12 +25,15 @@ float]``; :mod:`repro.engine.trials` ships ready-made ones.
 
 from __future__ import annotations
 
+import math
 import multiprocessing
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
+from .. import telemetry
 from ..errors import ValidationError
 
 __all__ = ["TrialRecord", "CampaignResult", "run_monte_carlo"]
@@ -70,6 +73,24 @@ class CampaignResult:
         for record in self.records:
             names.update(record.metrics)
         return tuple(sorted(names))
+
+    @property
+    def n_nan_trials(self) -> int:
+        """Trials whose metrics include at least one non-finite or
+        missing value — the per-trial view of ``aggregate()``'s
+        per-metric ``n_nan`` counts, used by the CLI to flag degraded
+        campaigns in the completion output."""
+        names = self.metric_names
+        if not names:
+            return 0
+        degraded = 0
+        for record in self.records:
+            for name in names:
+                value = record.metrics.get(name)
+                if value is None or not math.isfinite(value):
+                    degraded += 1
+                    break
+        return degraded
 
     def metric(self, name: str) -> np.ndarray:
         """Per-trial values of one metric, in trial order.
@@ -150,8 +171,42 @@ def _execute_trial(payload) -> TrialRecord:
     )
 
 
+def _execute_trial_traced(payload):
+    """Run one trial under a worker-local telemetry capture.
+
+    Returns ``(record, worker_data)``: the trial record plus the
+    worker recorder's snapshot (kernel counters, solve span, busy
+    time).  Module-level for pool picklability, like
+    :func:`_execute_trial`.  The explicit :func:`repro.telemetry.capture`
+    matters under the ``fork`` start method, where workers inherit a
+    copy of the parent's active recorder — writes to that copy would be
+    lost; the capture recorder's snapshot travels back instead.
+    """
+    index = payload[1]
+    with telemetry.capture() as cap:
+        with cap.span("solve", trial=index):
+            record = _execute_trial(payload)
+    return record, cap.worker_data()
+
+
+def _merge_traced_results(results, *, under=None) -> list:
+    """Fold ``(record, worker_data)`` pairs into the parent recorder.
+
+    *results* must be in trial-index order (both ``Pool.map`` and the
+    inline loop preserve submission order), so the merged trace is
+    worker-count independent.
+    """
+    rec = telemetry.current()
+    records = []
+    for record, data in results:
+        rec.merge_worker(data, under=under)
+        rec.observe("engine.campaign.trial_wall_s", data["busy_s"])
+        records.append(record)
+    return records
+
+
 def _execute_payloads(
-    payloads, n_workers: int, mp_context: Optional[str]
+    payloads, n_workers: int, mp_context: Optional[str], *, traced: bool = False
 ) -> list:
     """Run trial payloads inline (``n_workers == 1``) or over a pool.
 
@@ -159,10 +214,18 @@ def _execute_payloads(
     shard runner (:mod:`repro.engine.sharding`): worker fan-out, start-
     method fallback, and pool chunking live here once, so the two paths
     cannot drift apart.
+
+    With ``traced`` (the caller checks the active recorder), each trial
+    runs under a worker-local telemetry capture whose snapshot is merged
+    back into the parent recorder in trial-index order.
     """
     if n_workers < 1:
         raise ValidationError("n_workers must be >= 1")
     if n_workers == 1:
+        if traced:
+            return _merge_traced_results(
+                [_execute_trial_traced(payload) for payload in payloads]
+            )
         return [_execute_trial(payload) for payload in payloads]
     if mp_context is None:
         methods = multiprocessing.get_all_start_methods()
@@ -170,6 +233,10 @@ def _execute_payloads(
     ctx = multiprocessing.get_context(mp_context)
     chunksize = max(1, len(payloads) // (4 * n_workers))
     with ctx.Pool(processes=n_workers) as pool:
+        if traced:
+            return _merge_traced_results(
+                pool.map(_execute_trial_traced, payloads, chunksize=chunksize)
+            )
         return pool.map(_execute_trial, payloads, chunksize=chunksize)
 
 
@@ -207,5 +274,32 @@ def run_monte_carlo(
     kwargs = dict(trial_kwargs or {})
     children = np.random.SeedSequence(master_seed).spawn(n_trials)
     payloads = [(trial_fn, i, children[i], kwargs) for i in range(n_trials)]
-    records = _execute_payloads(payloads, n_workers, mp_context)
+    rec = telemetry.current()
+    wall0 = time.perf_counter()
+    with rec.span(
+        "campaign", mode="fixed", n_trials=int(n_trials), n_workers=int(n_workers)
+    ):
+        records = _execute_payloads(
+            payloads, n_workers, mp_context, traced=rec.active
+        )
+    if rec.active:
+        _record_campaign_metrics(rec, len(records), n_workers, wall0)
     return CampaignResult(master_seed=int(master_seed), records=tuple(records))
+
+
+def _record_campaign_metrics(rec, n_records: int, n_workers: int, wall0: float) -> None:
+    """Campaign-level counters: trial count, worker count, utilization.
+
+    Utilization is total worker busy time (summed root-span wall clock,
+    shipped back per trial) over ``elapsed * n_workers`` — 1.0 means the
+    pool never idled.
+    """
+    elapsed = time.perf_counter() - wall0
+    rec.count("engine.campaign.trials", n_records)
+    rec.gauge("engine.campaign.n_workers", n_workers)
+    busy = sum(rec.histograms.get("engine.campaign.trial_wall_s", ()))
+    if elapsed > 0:
+        rec.gauge(
+            "engine.campaign.utilization",
+            min(1.0, busy / (elapsed * max(1, n_workers))),
+        )

@@ -35,6 +35,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from .. import telemetry
 from .._validation import ensure_rng
 from ..errors import ValidationError
 from .batch import batch_lss_descend_padded, batch_lss_error_padded
@@ -213,6 +214,9 @@ def solve_local_lss_stack(
         best = np.where(better[:, None, None], out_pts, best)
         best_error = np.where(better, out_error, best_error)
 
+    telemetry.count("engine.localmaps.stacks", 1)
+    telemetry.count("engine.localmaps.problems", n_problems)
+    telemetry.count("engine.localmaps.rounds", config.restarts)
     stress = batch_lss_error_padded(best, pairs, dists, weights)
     return [
         LocalLssSolution(

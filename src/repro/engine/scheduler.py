@@ -41,14 +41,22 @@ from __future__ import annotations
 
 import math
 import multiprocessing
+import time
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Callable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from .. import telemetry
 from ..errors import ValidationError
-from .campaign import CampaignResult, TrialRecord, _execute_trial
+from .campaign import (
+    CampaignResult,
+    TrialRecord,
+    _execute_trial,
+    _execute_trial_traced,
+    _record_campaign_metrics,
+)
 
 __all__ = [
     "ConfidenceStop",
@@ -222,6 +230,9 @@ def run_adaptive(
     half_widths: List[float] = []
     converged = False
 
+    rec = telemetry.current()
+    traced = rec.active
+
     def committed_metric() -> np.ndarray:
         return np.asarray(
             [r.metrics.get(stopping.metric, float("nan")) for r in records],
@@ -231,31 +242,88 @@ def run_adaptive(
     def check_boundary() -> bool:
         values = committed_metric()
         half_widths.append(stopping.half_width(values))
-        return stopping.satisfied(values)
+        ok = stopping.satisfied(values)
+        rec.event(
+            "scheduler.boundary",
+            chunk=len(half_widths),
+            committed=len(records),
+            half_width=half_widths[-1],
+            satisfied=bool(ok),
+        )
+        return ok
 
-    if n_workers == 1:
-        for start in range(0, max_trials, chunk_size):
-            for payload in payloads[start : start + chunk_size]:
-                records.append(_execute_trial(payload))
-            if check_boundary():
-                converged = True
-                break
-    else:
-        if mp_context is None:
-            methods = multiprocessing.get_all_start_methods()
-            mp_context = "fork" if "fork" in methods else "spawn"
-        ctx = multiprocessing.get_context(mp_context)
-        with ctx.Pool(processes=n_workers) as pool:
-            # imap keeps the pool saturated ahead of the consumer while
-            # results are committed strictly in trial order; leaving the
-            # context manager terminates any speculative trials past the
-            # stopping point.
-            for record in pool.imap(_execute_trial, payloads, chunksize=1):
-                records.append(record)
-                if len(records) % chunk_size == 0 or len(records) == max_trials:
-                    if check_boundary():
-                        converged = True
-                        break
+    def run_traced_trial(payload) -> TrialRecord:
+        record, data = _execute_trial_traced(payload)
+        rec.merge_worker(data, under=chunk_under)
+        rec.observe("engine.campaign.trial_wall_s", data["busy_s"])
+        return record
+
+    wall_start = time.perf_counter()
+    with rec.span(
+        "campaign",
+        mode="adaptive",
+        max_trials=int(max_trials),
+        chunk_size=int(chunk_size),
+        n_workers=int(n_workers),
+    ):
+        # Worker solve spans re-root under an explicit "chunk" segment in
+        # both execution paths, so the trace's span tree is identical for
+        # any worker count (the telemetry face of the prefix property).
+        chunk_under = f"{rec.current_path()}/chunk" if traced else None
+        if n_workers == 1:
+            for start in range(0, max_trials, chunk_size):
+                wall0, cpu0 = time.perf_counter(), time.process_time()
+                for payload in payloads[start : start + chunk_size]:
+                    records.append(
+                        run_traced_trial(payload) if traced
+                        else _execute_trial(payload)
+                    )
+                if traced:
+                    rec.add_span(
+                        "chunk",
+                        time.perf_counter() - wall0,
+                        time.process_time() - cpu0,
+                        index=len(half_widths),
+                        committed=len(records),
+                    )
+                if check_boundary():
+                    converged = True
+                    break
+        else:
+            if mp_context is None:
+                methods = multiprocessing.get_all_start_methods()
+                mp_context = "fork" if "fork" in methods else "spawn"
+            ctx = multiprocessing.get_context(mp_context)
+            with ctx.Pool(processes=n_workers) as pool:
+                # imap keeps the pool saturated ahead of the consumer while
+                # results are committed strictly in trial order; leaving the
+                # context manager terminates any speculative trials past the
+                # stopping point.
+                mapper = _execute_trial_traced if traced else _execute_trial
+                wall0, cpu0 = time.perf_counter(), time.process_time()
+                for item in pool.imap(mapper, payloads, chunksize=1):
+                    if traced:
+                        record, data = item
+                        rec.merge_worker(data, under=chunk_under)
+                        rec.observe(
+                            "engine.campaign.trial_wall_s", data["busy_s"]
+                        )
+                        records.append(record)
+                    else:
+                        records.append(item)
+                    if len(records) % chunk_size == 0 or len(records) == max_trials:
+                        if traced:
+                            rec.add_span(
+                                "chunk",
+                                time.perf_counter() - wall0,
+                                time.process_time() - cpu0,
+                                index=len(half_widths),
+                                committed=len(records),
+                            )
+                            wall0, cpu0 = time.perf_counter(), time.process_time()
+                        if check_boundary():
+                            converged = True
+                            break
 
     if converged:
         reason = (
@@ -264,6 +332,18 @@ def run_adaptive(
         )
     else:
         reason = f"trial budget exhausted ({max_trials} trials)"
+    if traced:
+        _record_campaign_metrics(rec, len(records), n_workers, wall_start)
+        rec.count("scheduler.boundaries", len(half_widths))
+        rec.count("scheduler.trials_committed", len(records))
+        rec.count("scheduler.trials_saved", max_trials - len(records))
+        rec.event(
+            "scheduler.stop",
+            converged=converged,
+            reason=reason,
+            committed=len(records),
+            max_trials=int(max_trials),
+        )
     return ScheduledCampaignResult(
         master_seed=int(master_seed),
         records=tuple(records),

@@ -40,11 +40,13 @@ see.  The scenario layer rejects that combination.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import telemetry
 from ..errors import ValidationError
 from .campaign import CampaignResult, _execute_payloads
 
@@ -189,7 +191,17 @@ def run_campaign_shard(
     # like single-host trial i.
     children = np.random.SeedSequence(master_seed).spawn(n_trials)
     payloads = [(trial_fn, i, children[i], kwargs) for i in range(start, stop)]
-    records = _execute_payloads(payloads, n_workers, mp_context)
+    rec = telemetry.current()
+    with rec.span(
+        "shard",
+        shard=shard.cli_form,
+        start=int(start),
+        stop=int(stop),
+        n_trials=int(n_trials),
+        n_workers=int(n_workers),
+    ):
+        records = _execute_payloads(payloads, n_workers, mp_context, traced=rec.active)
+    rec.count("engine.shard.trials", len(records))
     return ShardCampaignResult(
         master_seed=int(master_seed),
         records=tuple(records),
@@ -243,6 +255,8 @@ def merge_shards(shards: Sequence[ShardCampaignResult]) -> CampaignResult:
             )
         raise ValidationError(f"duplicate shard indices in {present}")
 
+    rec = telemetry.current()
+    wall0, cpu0 = time.perf_counter(), time.process_time()
     ordered = sorted(shards, key=lambda result: result.shard.index)
     records: list = []
     for result in ordered:
@@ -255,4 +269,13 @@ def merge_shards(shards: Sequence[ShardCampaignResult]) -> CampaignResult:
                 f"range is [{start}, {stop})"
             )
         records.extend(result.records)
+    rec.add_span(
+        "shard-merge",
+        time.perf_counter() - wall0,
+        time.process_time() - cpu0,
+        n_shards=int(n_shards),
+        records=len(records),
+    )
+    rec.count("engine.shard.merges", 1)
+    rec.count("engine.shard.merged_records", len(records))
     return CampaignResult(master_seed=first.master_seed, records=tuple(records))

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
+from .. import telemetry
 from ..engine.campaign import CampaignResult, run_monte_carlo
 from ..engine.scheduler import ConfidenceStop, resolve_chunk_size, run_adaptive
 from ..engine.sharding import (
@@ -175,46 +176,56 @@ def run_scenario(
         )
         return result
     budget = int(spec.n_trials if n_trials is None else n_trials)
-    key = None
-    if store is not None:
-        key = store.key_for(
-            scenario_run_key(
-                spec,
-                master_seed=master_seed,
-                n_trials=budget,
-                stopping=stopping,
-                chunk_size=chunk_size,
+    rec = telemetry.current()
+    if rec.active:
+        rec.set_manifest(
+            scenario_id=spec.scenario_id,
+            spec_hash=spec.spec_hash(),
+            master_seed=int(master_seed),
+            n_trials=budget,
+            mode="adaptive" if stopping is not None else "fixed",
+        )
+    with rec.span("scenario", id=spec.scenario_id, seed=int(master_seed)):
+        key = None
+        if store is not None:
+            key = store.key_for(
+                scenario_run_key(
+                    spec,
+                    master_seed=master_seed,
+                    n_trials=budget,
+                    stopping=stopping,
+                    chunk_size=chunk_size,
+                )
             )
-        )
-        if use_cache:
-            payload = store.get(key)
-            if payload is not None:
-                return campaign_from_payload(payload)
+            if use_cache:
+                payload = store.get(key)
+                if payload is not None:
+                    return campaign_from_payload(payload)
 
-    if stopping is None:
-        result: CampaignResult = run_monte_carlo(
-            scenario_trial,
-            budget,
-            master_seed=master_seed,
-            n_workers=n_workers,
-            trial_kwargs={"spec": spec},
-            mp_context=mp_context,
-        )
-    else:
-        result = run_adaptive(
-            scenario_trial,
-            budget,
-            stopping=stopping,
-            master_seed=master_seed,
-            n_workers=n_workers,
-            chunk_size=chunk_size,
-            trial_kwargs={"spec": spec},
-            mp_context=mp_context,
-        )
+        if stopping is None:
+            result: CampaignResult = run_monte_carlo(
+                scenario_trial,
+                budget,
+                master_seed=master_seed,
+                n_workers=n_workers,
+                trial_kwargs={"spec": spec},
+                mp_context=mp_context,
+            )
+        else:
+            result = run_adaptive(
+                scenario_trial,
+                budget,
+                stopping=stopping,
+                master_seed=master_seed,
+                n_workers=n_workers,
+                chunk_size=chunk_size,
+                trial_kwargs={"spec": spec},
+                mp_context=mp_context,
+            )
 
-    if store is not None and key is not None:
-        store.put(key, campaign_to_payload(result))
-    return result
+        if store is not None and key is not None:
+            store.put(key, campaign_to_payload(result))
+        return result
 
 
 def _shard_context(spec: ScenarioSpec, store: ResultStore) -> Dict[str, Any]:
@@ -258,6 +269,15 @@ def run_scenario_shard(
     complete, else ``None``.
     """
     budget = int(spec.n_trials if n_trials is None else n_trials)
+    rec = telemetry.current()
+    if rec.active:
+        rec.set_manifest(
+            scenario_id=spec.scenario_id,
+            spec_hash=spec.spec_hash(),
+            master_seed=int(master_seed),
+            n_trials=budget,
+            shard=shard.cli_form,
+        )
     key = None
     shard_result: Optional[ShardCampaignResult] = None
     if store is not None:

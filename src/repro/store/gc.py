@@ -28,6 +28,7 @@ import time
 from dataclasses import dataclass
 from typing import Iterable, Optional, Tuple
 
+from .. import telemetry
 from .backends import check_key
 from .result_store import ResultStore
 
@@ -143,6 +144,11 @@ def collect(
             total -= info.size
     if evicted and not dry_run:
         store.backend.compact()
+    if not dry_run:
+        telemetry.count("store.gc.runs", 1)
+        telemetry.count("store.gc.entries_evicted", len(evicted))
+        telemetry.count("store.gc.bytes_evicted", evicted_bytes)
+        telemetry.count("store.gc.orphans_swept", len(swept))
     return GCReport(
         entries_before=entries_before,
         bytes_before=bytes_before,

@@ -34,10 +34,12 @@ import gzip
 import io
 import json
 import os
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional
 
+from .. import telemetry
 from .._canonical import canonical_json, sha256_hex
 from ..errors import ValidationError
 from .backends import (
@@ -227,19 +229,29 @@ class ResultStore:
         it is).
         """
         self._check_key(key)
+        t0 = time.perf_counter()
         try:
             raw = self.backend.read_bytes(key)
             if raw is None:
                 self.stats.misses += 1
+                self._record_get("miss", t0)
                 return None
             payload = decode_payload(raw)
         except CORRUPT_ERRORS:
             payload = self.backend.quarantine_corrupt(key, decode_payload)
             if payload is None:
                 self.stats.misses += 1
+                self._record_get("miss", t0)
                 return None
         self.stats.hits += 1
+        self._record_get("hit", t0)
         return payload
+
+    def _record_get(self, outcome: str, t0: float) -> None:
+        """Per-backend-kind get telemetry (hit/miss counter + latency)."""
+        kind = self.backend.kind
+        telemetry.count(f"store.{kind}.{outcome}", 1)
+        telemetry.observe(f"store.{kind}.get_ms", (time.perf_counter() - t0) * 1000.0)
 
     def put(self, key: str, payload: Dict[str, Any]) -> Path:
         """Atomically publish *payload* under *key*; returns the path
@@ -251,10 +263,14 @@ class ResultStore:
         :meth:`list_shards` without decompressing anything.
         """
         self._check_key(key)
+        t0 = time.perf_counter()
         path = self.backend.write_bytes(
             key, encode_payload(payload), shard_meta=shard_meta_from_payload(payload)
         )
         self.stats.puts += 1
+        kind = self.backend.kind
+        telemetry.count(f"store.{kind}.put", 1)
+        telemetry.observe(f"store.{kind}.put_ms", (time.perf_counter() - t0) * 1000.0)
         return path
 
     # ------------------------------------------------------------------
@@ -289,6 +305,7 @@ class ResultStore:
             key, data, shard_meta=shard_meta_from_payload(payload)
         )
         self.stats.puts += 1
+        telemetry.count(f"store.{self.backend.kind}.put_verbatim", 1)
         return path
 
     # ------------------------------------------------------------------

@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional, Tuple
 
+from .. import telemetry
 from ..errors import ValidationError
 from .result_store import ResultStore
 
@@ -95,22 +96,29 @@ def push(
     copied, corrupt = [], []
     copied_bytes = 0
     present = 0
-    # One bulk key listing instead of a contains() round trip per key.
-    dst_keys = set(dst.iter_keys())
-    for key in sorted(keys) if keys is not None else src.iter_keys():
-        if key in dst_keys:
-            present += 1
-            continue
-        data = src.get_bytes(key)
-        if data is None:  # vanished mid-sync (concurrent invalidate/GC)
-            continue
-        try:
-            dst.put_bytes(key, data)
-        except ValidationError:
-            corrupt.append(key)
-            continue
-        copied.append(key)
-        copied_bytes += len(data)
+    with telemetry.span(
+        "store-sync", src=str(src.root), dst=str(dst.root)
+    ):
+        # One bulk key listing instead of a contains() round trip per key.
+        dst_keys = set(dst.iter_keys())
+        for key in sorted(keys) if keys is not None else src.iter_keys():
+            if key in dst_keys:
+                present += 1
+                continue
+            data = src.get_bytes(key)
+            if data is None:  # vanished mid-sync (concurrent invalidate/GC)
+                continue
+            try:
+                dst.put_bytes(key, data)
+            except ValidationError:
+                corrupt.append(key)
+                continue
+            copied.append(key)
+            copied_bytes += len(data)
+    telemetry.count("store.sync.entries_copied", len(copied))
+    telemetry.count("store.sync.bytes_copied", copied_bytes)
+    telemetry.count("store.sync.skipped_present", present)
+    telemetry.count("store.sync.skipped_corrupt", len(corrupt))
     return SyncReport(
         copied=tuple(copied),
         copied_bytes=copied_bytes,

@@ -1,0 +1,150 @@
+"""repro.telemetry — spans, counters, and run manifests.
+
+Observability substrate for the whole stack (ROADMAP #2/#4): a
+hierarchical span tracer with wall/CPU timings, a metrics registry
+(counters, gauges, histograms), a discrete event sink, and a per-run
+manifest, all serialized as a versioned JSONL trace
+(:mod:`repro.telemetry.schema`).
+
+Design rules, in priority order:
+
+1. **Off by default, near-free when off.**  The process-wide recorder
+   defaults to :data:`NULL_RECORDER`, whose every method is a no-op
+   (``benchmarks/test_bench_telemetry.py`` enforces ≤ 5% overhead on
+   the Fig. 16 campaign).  Hot paths call the module-level helpers
+   below unconditionally — no ``if enabled()`` litter.
+2. **Telemetry never influences results.**  Nothing recorded here may
+   feed back into trial execution or the store's payload encoding: a
+   traced run stores byte-identical payloads to an untraced one
+   (determinism guarantee #8, ``docs/architecture.md``;
+   ``tests/test_telemetry.py`` pins it).
+3. **Multiprocessing-deterministic.**  Pool workers record into their
+   own :func:`capture` recorder and ship a snapshot back with each
+   trial result; the parent merges snapshots in trial-index order, so
+   the trace contents are worker-count independent.
+
+Typical use (the CLI does all of this for ``repro run --trace``)::
+
+    from repro import telemetry
+
+    with telemetry.recording() as recorder:
+        recorder.set_manifest(scenario_id="uniform-multilateration")
+        with telemetry.span("campaign", mode="fixed"):
+            telemetry.count("engine.campaign.trials", 12)
+        recorder.write("trace.jsonl")
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from .recorder import NULL_RECORDER, NullRecorder, TraceRecorder
+from .schema import TRACE_SCHEMA_VERSION, read_trace, validate_trace, write_trace
+
+__all__ = [
+    "NullRecorder",
+    "NULL_RECORDER",
+    "TraceRecorder",
+    "TRACE_SCHEMA_VERSION",
+    "read_trace",
+    "validate_trace",
+    "write_trace",
+    "current",
+    "enabled",
+    "set_recorder",
+    "recording",
+    "capture",
+    "span",
+    "add_span",
+    "count",
+    "observe",
+    "gauge",
+    "event",
+    "set_manifest",
+]
+
+_RECORDER = NULL_RECORDER
+
+
+def current():
+    """The active recorder (the null recorder unless tracing is on)."""
+    return _RECORDER
+
+
+def enabled() -> bool:
+    """True when a trace recorder is installed."""
+    return _RECORDER.active
+
+
+def set_recorder(recorder) -> None:
+    """Install *recorder* process-wide (``None`` restores the null)."""
+    global _RECORDER
+    _RECORDER = NULL_RECORDER if recorder is None else recorder
+
+
+@contextmanager
+def recording(recorder: Optional[TraceRecorder] = None) -> Iterator[TraceRecorder]:
+    """Install a :class:`TraceRecorder` for the duration of the block.
+
+    Yields the recorder; the previous recorder is restored on exit
+    (exceptions included), so nested/temporary tracing is safe.
+    """
+    rec = TraceRecorder() if recorder is None else recorder
+    previous = _RECORDER
+    set_recorder(rec)
+    try:
+        yield rec
+    finally:
+        set_recorder(previous)
+
+
+@contextmanager
+def capture() -> Iterator[TraceRecorder]:
+    """Worker-side recording into a fresh recorder.
+
+    Pool workers call this around each trial so their instrumentation
+    lands in a private recorder whose :meth:`TraceRecorder.worker_data`
+    snapshot travels back with the trial record — never in whatever
+    recorder the fork start method happened to copy from the parent.
+    """
+    with recording(TraceRecorder()) as rec:
+        yield rec
+
+
+# -- module-level delegating helpers (hot-path surface) -----------------
+
+
+def span(name: str, **attrs):
+    """Context manager timing a nested phase on the active recorder."""
+    return _RECORDER.span(name, **attrs)
+
+
+def add_span(name, wall_s, cpu_s, *, under=None, **attrs) -> None:
+    """Record an externally timed span on the active recorder."""
+    _RECORDER.add_span(name, wall_s, cpu_s, under=under, **attrs)
+
+
+def count(name: str, value=1) -> None:
+    """Add to a monotonic counter on the active recorder."""
+    _RECORDER.count(name, value)
+
+
+def observe(name: str, value) -> None:
+    """Record a histogram observation on the active recorder."""
+    _RECORDER.observe(name, value)
+
+
+def gauge(name: str, value) -> None:
+    """Set a gauge on the active recorder."""
+    _RECORDER.gauge(name, value)
+
+
+def event(name: str, **fields) -> None:
+    """Record a discrete event on the active recorder."""
+    _RECORDER.event(name, **fields)
+
+
+def set_manifest(**fields) -> None:
+    """Merge fields into the active recorder's run manifest."""
+    _RECORDER.set_manifest(**fields)

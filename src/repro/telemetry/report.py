@@ -1,0 +1,204 @@
+"""Human-readable rendering of traces: summarize one, compare two.
+
+Backs the ``repro trace summarize`` / ``repro trace compare`` CLI
+subcommands.  Both functions take parsed traces (the output of
+:func:`repro.telemetry.schema.read_trace`) and return plain text; the
+CLI owns file handling and error reporting.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+__all__ = ["summarize_trace", "compare_traces"]
+
+_MANIFEST_ENV_KEYS = ("host", "platform", "python", "numpy", "repro_version")
+
+
+def _span_table(records: List[Dict[str, Any]]) -> Dict[str, List[float]]:
+    """Aggregate spans by path -> [calls, wall_s, cpu_s]."""
+    table: Dict[str, List[float]] = {}
+    for record in records:
+        if record.get("type") != "span":
+            continue
+        row = table.setdefault(record["path"], [0, 0.0, 0.0])
+        row[0] += 1
+        row[1] += record["wall_s"]
+        row[2] += record["cpu_s"]
+    return table
+
+
+def _tree_order(paths) -> List[str]:
+    return sorted(paths, key=lambda p: tuple(p.split("/")))
+
+
+def _fmt_num(value: float) -> str:
+    if value != value:  # NaN
+        return "nan"
+    if value in (float("inf"), float("-inf")):
+        return "inf" if value > 0 else "-inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def _manifest_lines(manifest: Dict[str, Any]) -> List[str]:
+    lines = [f"schema: v{manifest.get('schema', '?')}"]
+    env = ", ".join(
+        f"{key}={manifest[key]}" for key in _MANIFEST_ENV_KEYS if key in manifest
+    )
+    if env:
+        lines.append(env)
+    run_keys = [
+        key
+        for key in sorted(manifest)
+        if key not in _MANIFEST_ENV_KEYS
+        and key not in ("type", "schema", "created_unix", "pid")
+    ]
+    if run_keys:
+        lines.append(
+            ", ".join(f"{key}={manifest[key]}" for key in run_keys)
+        )
+    return lines
+
+
+def summarize_trace(manifest: Dict[str, Any], records: List[Dict[str, Any]]) -> str:
+    """Render one trace: manifest, span tree, counters, gauges,
+    histograms, and the scheduler's chunk-boundary decisions."""
+    out: List[str] = []
+    out.append("manifest:")
+    out.extend(f"  {line}" for line in _manifest_lines(manifest))
+
+    spans = _span_table(records)
+    if spans:
+        out.append("")
+        out.append("span tree (calls · wall s · cpu s):")
+        width = max(
+            2 * path.count("/") + len(path.rsplit("/", 1)[-1]) for path in spans
+        )
+        for path in _tree_order(spans):
+            calls, wall, cpu = spans[path]
+            depth = path.count("/")
+            name = path.rsplit("/", 1)[-1]
+            label = "  " * depth + name
+            out.append(
+                f"  {label:<{width}}  {int(calls):>6}x  {wall:>10.4f}  {cpu:>10.4f}"
+            )
+
+    counters = {r["name"]: r["value"] for r in records if r.get("type") == "counter"}
+    if counters:
+        out.append("")
+        out.append("counters:")
+        width = max(len(name) for name in counters)
+        for name in sorted(counters):
+            out.append(f"  {name:<{width}}  {_fmt_num(counters[name]):>12}")
+
+    gauges = {r["name"]: r["value"] for r in records if r.get("type") == "gauge"}
+    if gauges:
+        out.append("")
+        out.append("gauges:")
+        width = max(len(name) for name in gauges)
+        for name in sorted(gauges):
+            out.append(f"  {name:<{width}}  {_fmt_num(gauges[name]):>12}")
+
+    histograms = [r for r in records if r.get("type") == "histogram"]
+    if histograms:
+        out.append("")
+        out.append("histograms (count · mean · min · max):")
+        width = max(len(r["name"]) for r in histograms)
+        for record in sorted(histograms, key=lambda r: r["name"]):
+            out.append(
+                f"  {record['name']:<{width}}  {record['count']:>6}"
+                f"  {record['mean']:>10.4g}  {record['min']:>10.4g}"
+                f"  {record['max']:>10.4g}"
+            )
+
+    boundaries = [
+        r
+        for r in records
+        if r.get("type") == "event" and r.get("name") == "scheduler.boundary"
+    ]
+    stops = [
+        r
+        for r in records
+        if r.get("type") == "event" and r.get("name") == "scheduler.stop"
+    ]
+    if boundaries or stops:
+        out.append("")
+        out.append("scheduler decisions:")
+        for record in boundaries:
+            f = record.get("fields", {})
+            verdict = "stop" if f.get("satisfied") else "continue"
+            out.append(
+                f"  boundary {f.get('chunk', '?')}: committed={f.get('committed', '?')}"
+                f" half_width={_fmt_num(f.get('half_width', float('nan')))}"
+                f" -> {verdict}"
+            )
+        for record in stops:
+            f = record.get("fields", {})
+            out.append(f"  stop: {f.get('reason', '?')}")
+    return "\n".join(out)
+
+
+def _diff_rows(
+    a: Dict[str, Any], b: Dict[str, Any]
+) -> List[Tuple[str, Any, Any]]:
+    rows = []
+    for name in sorted(set(a) | set(b)):
+        rows.append((name, a.get(name), b.get(name)))
+    return rows
+
+
+def compare_traces(
+    trace_a: Tuple[Dict[str, Any], List[Dict[str, Any]]],
+    trace_b: Tuple[Dict[str, Any], List[Dict[str, Any]]],
+    *,
+    label_a: str = "A",
+    label_b: str = "B",
+) -> str:
+    """Diff two traces: per-path wall time and per-name counter deltas."""
+    manifest_a, records_a = trace_a
+    manifest_b, records_b = trace_b
+    out: List[str] = []
+    for label, manifest in ((label_a, manifest_a), (label_b, manifest_b)):
+        run = ", ".join(
+            f"{key}={manifest[key]}"
+            for key in ("kind", "id", "scenario_id", "experiment_id", "master_seed")
+            if key in manifest
+        )
+        out.append(f"{label}: {run or '(no run fields)'}")
+
+    spans_a = {p: row[1] for p, row in _span_table(records_a).items()}
+    spans_b = {p: row[1] for p, row in _span_table(records_b).items()}
+    rows = _diff_rows(spans_a, spans_b)
+    if rows:
+        out.append("")
+        out.append(f"span wall s ({label_a} · {label_b} · delta):")
+        width = max(len(name) for name, _, _ in rows)
+        for name, va, vb in rows:
+            sa = f"{va:.4f}" if va is not None else "-"
+            sb = f"{vb:.4f}" if vb is not None else "-"
+            delta = f"{vb - va:+.4f}" if va is not None and vb is not None else ""
+            out.append(f"  {name:<{width}}  {sa:>10}  {sb:>10}  {delta:>10}")
+
+    counters_a = {
+        r["name"]: r["value"] for r in records_a if r.get("type") == "counter"
+    }
+    counters_b = {
+        r["name"]: r["value"] for r in records_b if r.get("type") == "counter"
+    }
+    rows = _diff_rows(counters_a, counters_b)
+    if rows:
+        out.append("")
+        out.append(f"counters ({label_a} · {label_b} · delta):")
+        width = max(len(name) for name, _, _ in rows)
+        for name, va, vb in rows:
+            sa = _fmt_num(va) if va is not None else "-"
+            sb = _fmt_num(vb) if vb is not None else "-"
+            delta = (
+                _fmt_num(vb - va) if va is not None and vb is not None else ""
+            )
+            if delta and not delta.startswith("-") and delta != "0":
+                delta = "+" + delta
+            out.append(f"  {name:<{width}}  {sa:>12}  {sb:>12}  {delta:>12}")
+    return "\n".join(out)

@@ -19,8 +19,13 @@ def _isolated_result_store(tmp_path_factory):
     root = tmp_path_factory.mktemp("repro-store")
     saved = os.environ.get("REPRO_STORE_DIR")
     os.environ["REPRO_STORE_DIR"] = str(root)
+    # A REPRO_TRACE inherited from the developer's shell would make
+    # every CLI-invoking test write (and announce) a trace file.
+    saved_trace = os.environ.pop("REPRO_TRACE", None)
     yield
     if saved is None:
         os.environ.pop("REPRO_STORE_DIR", None)
     else:
         os.environ["REPRO_STORE_DIR"] = saved
+    if saved_trace is not None:
+        os.environ["REPRO_TRACE"] = saved_trace

@@ -40,7 +40,7 @@ class TestRun:
         out = capsys.readouterr().out
         assert "scenario: uniform-multilateration" in out
         assert "2 trials" in out
-        assert "'misses': 1" in out
+        assert "misses=1" in out
         # warm re-run hits the cache
         assert (
             main(
@@ -57,7 +57,7 @@ class TestRun:
             )
             == 0
         )
-        assert "'hits': 1" in capsys.readouterr().out
+        assert "hits=1" in capsys.readouterr().out
 
     def test_run_scenario_no_store(self, capsys):
         assert (
@@ -98,7 +98,7 @@ class TestRun:
         assert main(args) == 0
         capsys.readouterr()
         assert main(args + ["--no-cache"]) == 0
-        assert "'hits': 0" in capsys.readouterr().out
+        assert "hits=0" in capsys.readouterr().out
 
     def test_unknown_id_exits_2(self, capsys):
         assert main(["run", "fig99"]) == 2
@@ -258,9 +258,9 @@ class TestStoreCommands:
             store,
         ]
         assert main(args) == 0
-        assert "'misses': 1" in capsys.readouterr().out
+        assert "misses=1" in capsys.readouterr().out
         assert main(args) == 0
-        assert "'hits': 1" in capsys.readouterr().out
+        assert "hits=1" in capsys.readouterr().out
 
 
 class TestSharding:
@@ -303,7 +303,7 @@ class TestSharding:
             assert self._run_shard(tmp_path, k, 3) == 0
         capsys.readouterr()
         assert main(["run", *self.ARGS, "--store", str(tmp_path)]) == 0
-        assert "'hits': 1" in capsys.readouterr().out
+        assert "hits=1" in capsys.readouterr().out
 
     def test_explicit_merge_command(self, tmp_path, capsys):
         for k in (1, 2):

@@ -12,7 +12,11 @@ from pathlib import Path
 import pytest
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
-DOC_FILES = [REPO_ROOT / "README.md", REPO_ROOT / "docs" / "architecture.md"]
+DOC_FILES = [
+    REPO_ROOT / "README.md",
+    REPO_ROOT / "docs" / "architecture.md",
+    REPO_ROOT / "docs" / "observability.md",
+]
 
 
 def _load_checker():
@@ -39,7 +43,7 @@ def test_docs_mention_the_verify_command_and_store_contract():
     assert "python -m repro list" in readme
     architecture = (REPO_ROOT / "docs" / "architecture.md").read_text(encoding="utf-8")
     for guarantee in ("Bit-identical store hits", "Worker-count independence",
-                      "Early-stop prefix property"):
+                      "Early-stop prefix property", "Telemetry non-interference"):
         assert guarantee in architecture
 
 

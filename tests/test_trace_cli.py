@@ -1,0 +1,162 @@
+"""Tests for the tracing CLI surface: ``run --trace``, ``$REPRO_TRACE``,
+and the ``trace summarize`` / ``trace compare`` subcommands."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.telemetry import TRACE_SCHEMA_VERSION, read_trace
+
+
+def _run_traced(tmp_path, trace_name="t.jsonl", extra=()):
+    trace = tmp_path / trace_name
+    code = main(
+        [
+            "run",
+            "uniform-multilateration",
+            "--seed",
+            "1",
+            "--trials",
+            "2",
+            "--store",
+            str(tmp_path / "store"),
+            "--trace",
+            str(trace),
+            *extra,
+        ]
+    )
+    assert code == 0
+    return trace
+
+
+class TestRunTrace:
+    def test_trace_flag_writes_valid_trace(self, tmp_path, capsys):
+        trace = _run_traced(tmp_path)
+        out = capsys.readouterr().out
+        assert f"-> {trace}" in out
+        manifest, records = read_trace(trace)  # validates shape + version
+        assert manifest["schema"] == TRACE_SCHEMA_VERSION
+        assert manifest["scenario_id"] == "uniform-multilateration"
+        assert manifest["master_seed"] == 1
+        assert manifest["argv"] == ["run", "uniform-multilateration"]
+        assert "code_version" in manifest
+        paths = [r["path"] for r in records if r["type"] == "span"]
+        assert "scenario" in paths
+        assert "scenario/campaign" in paths
+        assert paths.count("scenario/campaign/solve") == 2
+        counters = {
+            r["name"]: r["value"] for r in records if r["type"] == "counter"
+        }
+        assert counters["engine.campaign.trials"] == 2
+        assert counters["store.filesystem.miss"] == 1
+        assert counters["store.filesystem.put"] == 1
+
+    def test_env_var_enables_tracing(self, tmp_path, capsys, monkeypatch):
+        trace = tmp_path / "env.jsonl"
+        monkeypatch.setenv("REPRO_TRACE", str(trace))
+        assert main(["run", "uniform-multilateration", "--trials", "2"]) == 0
+        assert f"-> {trace}" in capsys.readouterr().out
+        read_trace(trace)
+
+    def test_flag_takes_precedence_over_env(self, tmp_path, capsys, monkeypatch):
+        env_trace = tmp_path / "env.jsonl"
+        monkeypatch.setenv("REPRO_TRACE", str(env_trace))
+        flag_trace = _run_traced(tmp_path, "flag.jsonl")
+        capsys.readouterr()
+        assert flag_trace.exists()
+        assert not env_trace.exists()
+
+    def test_untraced_run_writes_nothing(self, tmp_path, capsys):
+        assert main(["run", "uniform-multilateration", "--trials", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "trace:" not in out
+
+    def test_experiment_accepts_trace(self, tmp_path, capsys):
+        trace = tmp_path / "exp.jsonl"
+        assert main(["run", "fig11", "--seed", "2005", "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        manifest, records = read_trace(trace)
+        assert manifest["kind"] == "experiment"
+        assert manifest["experiment_id"] == "fig11"
+        assert any(
+            r["type"] == "span" and r["path"] == "experiment" for r in records
+        )
+
+
+class TestTraceSummarize:
+    def test_summarize_renders_tree_and_counters(self, tmp_path, capsys):
+        trace = _run_traced(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert f"trace: {trace}" in out
+        assert f"schema: v{TRACE_SCHEMA_VERSION}" in out
+        assert "scenario" in out
+        assert "campaign" in out
+        assert "solve" in out
+        assert "engine.campaign.trials" in out
+        assert "store.filesystem.miss" in out
+
+    def test_summarize_shows_scheduler_decisions(self, tmp_path, capsys):
+        trace = _run_traced(
+            tmp_path,
+            "adaptive.jsonl",
+            extra=["--adaptive", "--tolerance", "5.0", "--trials", "8"],
+        )
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "scheduler decisions:" in out
+        assert "boundary 1:" in out
+        assert "half_width=" in out
+        assert "stop:" in out
+
+    def test_missing_trace_exits_2(self, tmp_path, capsys):
+        assert main(["trace", "summarize", str(tmp_path / "nope.jsonl")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_invalid_trace_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "counter", "name": "c", "value": 1}\n')
+        assert main(["trace", "summarize", str(bad)]) == 2
+        assert "manifest" in capsys.readouterr().err
+
+
+class TestTraceCompare:
+    def test_compare_two_runs(self, tmp_path, capsys):
+        a = _run_traced(tmp_path, "a.jsonl")
+        b = _run_traced(tmp_path, "b.jsonl")
+        capsys.readouterr()
+        assert main(["trace", "compare", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "scenario" in out
+        assert "engine.campaign.trials" in out
+        # The warm run hit the cache, so the store counters diverge.
+        assert "store.filesystem.hit" in out
+        assert "store.filesystem.miss" in out
+
+    def test_compare_invalid_exits_2(self, tmp_path, capsys):
+        a = _run_traced(tmp_path, "a.jsonl")
+        capsys.readouterr()
+        assert main(["trace", "compare", str(a), str(tmp_path / "nope.jsonl")]) == 2
+
+
+class TestRunCompletionLine:
+    def test_scheduler_savings_in_completion_line(self, tmp_path, capsys):
+        code = main(
+            [
+                "run",
+                "uniform-multilateration",
+                "--trials",
+                "8",
+                "--adaptive",
+                "--tolerance",
+                "5.0",
+                "--store",
+                str(tmp_path / "store"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "early stop saved" in out
+        assert "of 8 budgeted trials" in out
+        assert "store:" in out and "misses=1" in out

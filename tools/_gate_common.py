@@ -1,10 +1,9 @@
 """Shared plumbing for the CI gate scripts in this directory.
 
-Both shard-round-trip gates (`check_shard_roundtrip.py`,
-`check_store_sync.py`) drive the real CLI as subprocesses and compare
-canonical store entries byte-for-byte; the invoke-and-exit-on-failure
-and golden-entry-lookup logic lives here once so the gates cannot
-silently diverge.
+The gates (`check_shard_roundtrip.py`, `check_store_sync.py`,
+`check_trace_schema.py`) drive the real CLI as subprocesses; the
+invoke-and-exit-on-failure and golden-entry-lookup logic lives here
+once so the gates cannot silently diverge.
 """
 
 from __future__ import annotations
@@ -18,6 +17,12 @@ from typing import List, Optional
 def run_cli(args: List[str], store: Optional[Path] = None) -> None:
     """Run ``python -m repro <args>`` (appending ``--store`` when given);
     exits the gate with the command's output on any failure."""
+    run_cli_output(args, store)
+
+
+def run_cli_output(args: List[str], store: Optional[Path] = None) -> str:
+    """Like :func:`run_cli`, but returns the command's stdout so gates
+    can assert on what the CLI printed (``check_trace_schema.py``)."""
     command = [sys.executable, "-m", "repro", *args]
     if store is not None:
         command += ["--store", str(store)]
@@ -27,6 +32,7 @@ def run_cli(args: List[str], store: Optional[Path] = None) -> None:
             f"command failed ({result.returncode}): {' '.join(command)}\n"
             f"{result.stdout}{result.stderr}"
         )
+    return result.stdout
 
 
 def entry_bytes(store: Path, scenario_id: str, seed: int, trials: int) -> bytes:

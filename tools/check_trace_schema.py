@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""CI gate: telemetry traces validate against the versioned schema.
+
+Drives the real CLI end to end: a fixed-count scenario run with
+``--trace`` must produce a trace that parses under the current schema
+version and carries the expected manifest fields, span tree, and store
+counters; an adaptive run must additionally record scheduler boundary
+and stop events; and ``repro trace summarize`` / ``repro trace
+compare`` must render both.  Exits non-zero with a diagnostic on any
+violation — catching schema drift (a record shape change without a
+version bump) before it ships.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_trace_schema.py
+    PYTHONPATH=src python tools/check_trace_schema.py --scenario town-multilateration
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+from _gate_common import run_cli, run_cli_output
+
+
+def _fail(tag: str, detail: str) -> None:
+    sys.exit(f"FAIL [{tag}]: {detail}")
+
+
+def _index(records):
+    by_type = {}
+    for record in records:
+        by_type.setdefault(record["type"], []).append(record)
+    return by_type
+
+
+def check_fixed_trace(path: Path, scenario: str, trials: int):
+    """Validate the fixed-count run's trace; returns (manifest, records)."""
+    from repro.telemetry import TRACE_SCHEMA_VERSION, read_trace
+
+    manifest, records = read_trace(path)  # raises on any schema violation
+    if manifest["schema"] != TRACE_SCHEMA_VERSION:
+        _fail("fixed", f"schema {manifest['schema']} != {TRACE_SCHEMA_VERSION}")
+    for field in ("scenario_id", "spec_hash", "master_seed", "code_version", "host"):
+        if field not in manifest:
+            _fail("fixed", f"manifest missing {field!r}")
+    if manifest["scenario_id"] != scenario:
+        _fail("fixed", f"manifest scenario_id {manifest['scenario_id']!r}")
+
+    by_type = _index(records)
+    paths = [s["path"] for s in by_type.get("span", [])]
+    for expected in ("scenario", "scenario/campaign"):
+        if paths.count(expected) != 1:
+            _fail("fixed", f"expected exactly one {expected!r} span, got {paths}")
+    if paths.count("scenario/campaign/solve") != trials:
+        _fail("fixed", f"expected {trials} solve spans, got {paths}")
+
+    counters = {c["name"]: c["value"] for c in by_type.get("counter", [])}
+    if counters.get("engine.campaign.trials") != trials:
+        _fail("fixed", f"engine.campaign.trials counter: {counters}")
+    store_counters = [n for n in counters if n.startswith("store.")]
+    if not store_counters:
+        _fail("fixed", f"no store.* counters in trace: {sorted(counters)}")
+    print(
+        f"ok [fixed]: {1 + len(records)} records, {len(paths)} spans, "
+        f"{len(counters)} counters ({len(store_counters)} store.*)"
+    )
+    return manifest, records
+
+
+def check_adaptive_trace(path: Path):
+    """Validate the adaptive run's trace records scheduler decisions."""
+    from repro.telemetry import read_trace
+
+    _, records = read_trace(path)
+    by_type = _index(records)
+    events = by_type.get("event", [])
+    boundaries = [e for e in events if e["name"] == "scheduler.boundary"]
+    stops = [e for e in events if e["name"] == "scheduler.stop"]
+    if not boundaries:
+        _fail("adaptive", "no scheduler.boundary events in adaptive trace")
+    if len(stops) != 1:
+        _fail("adaptive", f"expected one scheduler.stop event, got {len(stops)}")
+    for field in ("chunk", "committed", "half_width", "satisfied"):
+        if field not in boundaries[0]["fields"]:
+            _fail("adaptive", f"boundary event missing {field!r}")
+    counters = {c["name"]: c["value"] for c in by_type.get("counter", [])}
+    if "scheduler.trials_saved" not in counters:
+        _fail("adaptive", f"no scheduler.trials_saved counter: {sorted(counters)}")
+    print(
+        f"ok [adaptive]: {len(boundaries)} boundary events, "
+        f"stop reason {stops[0]['fields'].get('reason')!r}"
+    )
+
+
+def check_cli_rendering(fixed: Path, adaptive: Path) -> None:
+    """`trace summarize` and `trace compare` must render both traces."""
+    out = run_cli_output(["trace", "summarize", str(fixed)])
+    for needle in ("span tree", "scenario", "campaign", "solve", "counters:"):
+        if needle not in out:
+            _fail("summarize", f"{needle!r} missing from output:\n{out}")
+    out = run_cli_output(["trace", "summarize", str(adaptive)])
+    for needle in ("scheduler decisions:", "boundary 1:", "stop:"):
+        if needle not in out:
+            _fail("summarize", f"{needle!r} missing from adaptive output:\n{out}")
+    out = run_cli_output(["trace", "compare", str(fixed), str(adaptive)])
+    if "engine.campaign.trials" not in out:
+        _fail("compare", f"counter diff missing from output:\n{out}")
+    print("ok [cli]: summarize and compare render both traces")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scenario", default="uniform-multilateration")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--trials", type=int, default=2)
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_path = Path(tmp)
+        fixed = tmp_path / "fixed.jsonl"
+        adaptive = tmp_path / "adaptive.jsonl"
+        base = ["run", args.scenario, "--seed", str(args.seed)]
+        run_cli(
+            [*base, "--trials", str(args.trials), "--trace", str(fixed)],
+            tmp_path / "store",
+        )
+        run_cli(
+            [
+                *base,
+                "--trials",
+                str(max(8, args.trials)),
+                "--adaptive",
+                "--tolerance",
+                "5.0",
+                "--trace",
+                str(adaptive),
+            ],
+            tmp_path / "store",
+        )
+        check_fixed_trace(fixed, args.scenario, args.trials)
+        check_adaptive_trace(adaptive)
+        check_cli_rendering(fixed, adaptive)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
