@@ -110,6 +110,12 @@ class DistributedConfig:
         small neighborhood a single uncorroborated garbage range can
         warp the whole local frame; this is the local analogue of the
         paper's cross-node consistency checks.  ``None`` disables.
+    array_backend : str or None
+        Array namespace for the batched kernels (see
+        :mod:`repro.engine.backend`): ``None`` defers to the process
+        default (``repro run --array-backend`` / ``REPRO_ARRAY_BACKEND``
+        / NumPy).  An execution knob like ``solver`` — it never changes
+        results on the NumPy path (determinism guarantee #9).
     """
 
     local_lss: LssConfig = field(
@@ -121,6 +127,7 @@ class DistributedConfig:
     min_spacing_m: Optional[float] = None
     residual_trim_m: Optional[float] = 3.0
     solver: str = "batched"
+    array_backend: Optional[str] = None
 
     def __post_init__(self):
         if self.transform_method not in ("closed_form", "minimize"):
@@ -131,6 +138,14 @@ class DistributedConfig:
             raise ValidationError("tree must be 'bfs' or 'best'")
         if self.solver not in ("batched", "scalar"):
             raise ValidationError("solver must be 'batched' or 'scalar'")
+        if self.array_backend is not None:
+            from ..engine.backend import BACKEND_NAMES
+
+            if self.array_backend not in BACKEND_NAMES:
+                raise ValidationError(
+                    f"array_backend must be one of {BACKEND_NAMES} or None; "
+                    f"got {self.array_backend!r}"
+                )
 
     @property
     def effective_local_lss(self) -> LssConfig:
@@ -332,7 +347,9 @@ def _solve_local_maps_batched(
         )
         for _, members, local_edges in problems
     ]
-    solutions = solve_local_lss_stack(stack, config=lss_config, rng=rng)
+    solutions = solve_local_lss_stack(
+        stack, config=lss_config, rng=rng, backend=config.array_backend
+    )
     positions = [solution.positions for solution in solutions]
 
     if config.residual_trim_m is not None:
@@ -350,7 +367,9 @@ def _solve_local_maps_batched(
                     )
                 )
         if refit_stack:
-            refits = solve_local_lss_stack(refit_stack, config=lss_config, rng=rng)
+            refits = solve_local_lss_stack(
+                refit_stack, config=lss_config, rng=rng, backend=config.array_backend
+            )
             for k, solution in zip(refit_indices, refits):
                 positions[k] = solution.positions
     return positions
@@ -433,11 +452,14 @@ def build_transforms(
     stored.  Pairs whose maps share fewer than ``config.min_shared``
     nodes are omitted.
 
-    With ``config.solver == "batched"`` and the closed-form estimator
-    (the defaults), all pairs' fits — two directed problems per pair —
-    are stacked into one
+    With ``config.solver == "batched"`` (the default), all pairs' fits
+    — two directed problems per pair — are stacked into one batched
+    estimator call:
     :func:`repro.core.transforms.estimate_transforms_closed_form_batch`
-    call; the ``"minimize"`` method always runs per pair.
+    for the closed-form method,
+    :func:`repro.core.transforms.estimate_transforms_minimize_batch`
+    for ``"minimize"`` (previously one ``scipy.optimize.minimize`` per
+    pair).  ``solver="scalar"`` keeps the per-pair reference path.
     """
     config = config if config is not None else DistributedConfig()
     transforms: Dict[Tuple[int, int], TransformEstimate] = {}
@@ -458,9 +480,17 @@ def build_transforms(
     if not tasks:
         return transforms
 
-    if config.solver == "batched" and config.transform_method == "closed_form":
-        from .transforms import estimate_transforms_closed_form_batch
+    if config.solver == "batched":
+        from .transforms import (
+            estimate_transforms_closed_form_batch,
+            estimate_transforms_minimize_batch,
+        )
 
+        batch_estimator = (
+            estimate_transforms_closed_form_batch
+            if config.transform_method == "closed_form"
+            else estimate_transforms_minimize_batch
+        )
         # Two directed problems per pair: (b -> a) then (a -> b).
         max_shared = max(task[2].shape[0] for task in tasks)
         n_problems = 2 * len(tasks)
@@ -474,7 +504,9 @@ def build_transforms(
             sources[2 * t + 1, :n_shared] = target_a
             targets[2 * t + 1, :n_shared] = source_b
             valid[2 * t : 2 * t + 2, :n_shared] = True
-        estimates = estimate_transforms_closed_form_batch(sources, targets, valid)
+        estimates = batch_estimator(
+            sources, targets, valid, backend=config.array_backend
+        )
         for t, (a, b, _, _) in enumerate(tasks):
             transforms[(a, b)] = estimates[2 * t]
             transforms[(b, a)] = estimates[2 * t + 1]

@@ -51,6 +51,7 @@ __all__ = [
     "estimate_transform_minimize",
     "estimate_transform_closed_form",
     "estimate_transforms_closed_form_batch",
+    "estimate_transforms_minimize_batch",
     "estimate_transform",
 ]
 
@@ -219,30 +220,12 @@ def estimate_transform_closed_form(source, target) -> TransformEstimate:
     return best
 
 
-def estimate_transforms_closed_form_batch(
-    sources: np.ndarray,
-    targets: np.ndarray,
-    valid: Optional[np.ndarray] = None,
-) -> list:
-    """Closed-form transform estimation over a stack of problems.
+def _validate_transform_stacks(
+    sources, targets, valid
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shared validation for the batched estimators.
 
-    Parameters
-    ----------
-    sources, targets : ndarray of shape (P, S, 2)
-        Padded correspondence stacks: problem ``p`` uses the rows where
-        ``valid[p]`` is True (source-frame points and their target-frame
-        counterparts).  Padded rows may hold anything.
-    valid : ndarray of bool, shape (P, S), optional
-        Mask of real correspondence slots; all-True when omitted.
-
-    Per problem this evaluates the same four candidates as
-    :func:`estimate_transform_closed_form` — both roots of the paper's
-    center-of-mass rotation equation, with and without reflection — and
-    keeps the least-error combination; masked statistics (sums over
-    valid slots divided by the count) replace the scalar ``np.mean``,
-    so results agree with the scalar estimator to floating-point
-    reduction tolerance.  Returns one :class:`TransformEstimate` per
-    problem, in order.
+    Returns ``(src, tgt, valid, counts)`` with padding-safe dtypes.
     """
     src = np.asarray(sources, dtype=float)
     tgt = np.asarray(targets, dtype=float)
@@ -261,13 +244,102 @@ def estimate_transforms_closed_form_batch(
             "every problem needs at least two shared points to estimate "
             "a rigid transform"
         )
-    if n_problems == 0:
-        return []
+    return src, tgt, valid, counts
 
-    cnt = counts.astype(float)
+
+def _compose_batch_results(
+    best_rot: np.ndarray,
+    best_theta: np.ndarray,
+    best_error: np.ndarray,
+    best_reflect: np.ndarray,
+    mu_src: np.ndarray,
+    mu_tgt: np.ndarray,
+    counts: np.ndarray,
+) -> list:
+    """Compose homogeneous matrices + result objects from winner arrays."""
+    n_problems = best_rot.shape[0]
+    # translate(-mu_src) . rot . translate(+mu_tgt), composed directly.
+    matrices = np.zeros((n_problems, 3, 3))
+    matrices[:, :2, :2] = best_rot
+    matrices[:, 2, :2] = mu_tgt - np.einsum("pi,pij->pj", mu_src, best_rot)
+    matrices[:, 2, 2] = 1.0
+
+    rmse = np.sqrt(best_error / counts.astype(float))
+    return [
+        TransformEstimate(
+            matrix=matrices[p],
+            error=float(best_error[p]),
+            rmse=float(rmse[p]),
+            theta=float(best_theta[p] % (2 * math.pi)),
+            reflected=bool(best_reflect[p]),
+            n_correspondences=int(counts[p]),
+        )
+        for p in range(n_problems)
+    ]
+
+
+def _masked_centroids(
+    src: np.ndarray, tgt: np.ndarray, valid: np.ndarray, cnt: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
     vmask = valid[..., None]
     mu_src = np.where(vmask, src, 0.0).sum(axis=1) / cnt[:, None]
     mu_tgt = np.where(vmask, tgt, 0.0).sum(axis=1) / cnt[:, None]
+    return mu_src, mu_tgt
+
+
+def estimate_transforms_closed_form_batch(
+    sources: np.ndarray,
+    targets: np.ndarray,
+    valid: Optional[np.ndarray] = None,
+    *,
+    backend=None,
+) -> list:
+    """Closed-form transform estimation over a stack of problems.
+
+    Parameters
+    ----------
+    sources, targets : ndarray of shape (P, S, 2)
+        Padded correspondence stacks: problem ``p`` uses the rows where
+        ``valid[p]`` is True (source-frame points and their target-frame
+        counterparts).  Padded rows may hold anything.
+    valid : ndarray of bool, shape (P, S), optional
+        Mask of real correspondence slots; all-True when omitted.
+
+    Per problem this evaluates the same four candidates as
+    :func:`estimate_transform_closed_form` — both roots of the paper's
+    center-of-mass rotation equation, with and without reflection — and
+    keeps the least-error combination; masked statistics (sums over
+    valid slots divided by the count) replace the scalar ``np.mean``,
+    so results agree with the scalar estimator to floating-point
+    reduction tolerance.  On the default NumPy *backend* the loop below
+    runs unchanged (the pre-seam code path); any other backend
+    dispatches the candidate evaluation to the portable Array-API twin
+    and composes the matrices host-side.  Returns one
+    :class:`TransformEstimate` per problem, in order.
+    """
+    src, tgt, valid, counts = _validate_transform_stacks(sources, targets, valid)
+    n_problems = src.shape[0]
+    if n_problems == 0:
+        return []
+
+    from ..engine.backend import resolve_backend
+
+    be = resolve_backend(backend)
+    if not be.is_native_numpy:
+        from ..engine.xp_kernels import transforms_closed_form_xp
+
+        best_rot, best_theta, best_error, best_reflect = transforms_closed_form_xp(
+            be, src, tgt, valid
+        )
+        cnt = counts.astype(float)
+        mu_src, mu_tgt = _masked_centroids(src, tgt, valid, cnt)
+        return _compose_batch_results(
+            best_rot, best_theta, best_error, best_reflect, mu_src, mu_tgt, counts
+        )
+
+    cnt = counts.astype(float)
+    vmask = valid[..., None]
+    mu_src, mu_tgt = _masked_centroids(src, tgt, valid, cnt)
     # Centered coordinates, zeroed on padding so reductions see exact 0s.
     u = np.where(valid, src[..., 0] - mu_src[:, 0:1], 0.0)
     v = np.where(valid, src[..., 1] - mu_src[:, 1:2], 0.0)
@@ -312,24 +384,116 @@ def estimate_transforms_closed_form_batch(
             best_reflect = np.where(better, reflect, best_reflect)
             best_rot = np.where(better[:, None, None], rot, best_rot)
 
-    # translate(-mu_src) . rot . translate(+mu_tgt), composed directly.
-    matrices = np.zeros((n_problems, 3, 3))
-    matrices[:, :2, :2] = best_rot
-    matrices[:, 2, :2] = mu_tgt - np.einsum("pi,pij->pj", mu_src, best_rot)
-    matrices[:, 2, 2] = 1.0
+    return _compose_batch_results(
+        best_rot, best_theta, best_error, best_reflect, mu_src, mu_tgt, counts
+    )
 
-    rmse = np.sqrt(best_error / cnt)
-    return [
-        TransformEstimate(
-            matrix=matrices[p],
-            error=float(best_error[p]),
-            rmse=float(rmse[p]),
-            theta=float(best_theta[p] % (2 * math.pi)),
-            reflected=bool(best_reflect[p]),
-            n_correspondences=int(counts[p]),
+
+def estimate_transforms_minimize_batch(
+    sources: np.ndarray,
+    targets: np.ndarray,
+    valid: Optional[np.ndarray] = None,
+    *,
+    newton_steps: int = 3,
+    backend=None,
+) -> list:
+    """Numerical-minimization transform estimation over a stack of problems.
+
+    The batched form of :func:`estimate_transform_minimize` (the PR 3
+    leftover: that path previously ran one ``scipy.optimize.minimize``
+    per neighboring-map pair).  For centered correspondences the
+    4-parameter objective reduces per reflection branch to a sinusoid
+    in ``theta``::
+
+        E_f(theta) = C - 2 (P cos(theta) + Q sin(theta))
+
+    with ``P = sum(x u + y v_eff)`` and ``Q = sum(x v_eff - y u)``, the
+    translation fixed at the centroid offset.  Each branch is therefore
+    minimized exactly at ``theta* = atan2(Q, P)``; a short vectorized
+    Newton polish on ``dE/dtheta = 0`` (*newton_steps* iterations)
+    mirrors the scalar path's numerical refinement and washes out the
+    seeding arithmetic.  Per problem the better reflection branch wins,
+    matching the scalar Nelder-Mead reference to its convergence
+    tolerance (``xatol=1e-10``) — pinned by
+    ``tests/test_backend_parity.py``.
+
+    Runs on any array backend; the arithmetic below is Array-API
+    portable and dispatches through *backend* like the engine kernels.
+    """
+    src, tgt, valid, counts = _validate_transform_stacks(sources, targets, valid)
+    n_problems = src.shape[0]
+    if n_problems == 0:
+        return []
+
+    from ..engine.backend import resolve_backend
+
+    be = resolve_backend(backend)
+    xp = be.xp
+    atan2 = getattr(xp, "atan2", None) or xp.arctan2
+
+    cnt_host = counts.astype(float)
+    mu_src, mu_tgt = _masked_centroids(src, tgt, valid, cnt_host)
+    u_host = np.where(valid, src[..., 0] - mu_src[:, 0:1], 0.0)
+    v_host = np.where(valid, src[..., 1] - mu_src[:, 1:2], 0.0)
+    x_host = np.where(valid, tgt[..., 0] - mu_tgt[:, 0:1], 0.0)
+    y_host = np.where(valid, tgt[..., 1] - mu_tgt[:, 1:2], 0.0)
+    u = be.asarray(u_host)
+    v = be.asarray(v_host)
+    x = be.asarray(x_host)
+    y = be.asarray(y_host)
+    # Squared norms of the centered sets: the theta-independent term.
+    const = xp.sum(u * u + v * v + x * x + y * y, axis=1)
+
+    inf = xp.full(const.shape, float("inf"), dtype=xp.float64)
+    best_error = inf
+    best_theta = xp.zeros(const.shape, dtype=xp.float64)
+    best_reflect = xp.zeros(const.shape, dtype=xp.float64)
+
+    for reflect in (False, True):
+        v_eff = -v if reflect else v
+        p_coef = xp.sum(x * u + y * v_eff, axis=1)
+        q_coef = xp.sum(x * v_eff - y * u, axis=1)
+        theta = atan2(q_coef, p_coef)
+        for _ in range(max(0, int(newton_steps))):
+            # dE/dtheta = 2 (P sin - Q cos); d2E/dtheta2 = 2 (P cos + Q sin).
+            d1 = p_coef * xp.sin(theta) - q_coef * xp.cos(theta)
+            d2 = p_coef * xp.cos(theta) + q_coef * xp.sin(theta)
+            safe = xp.where(
+                xp.abs(d2) > 1e-300, d2, xp.full(d2.shape, 1.0, dtype=d2.dtype)
+            )
+            theta = theta - d1 / safe
+        error = const - 2.0 * (p_coef * xp.cos(theta) + q_coef * xp.sin(theta))
+        better = error < best_error
+        best_error = xp.where(better, error, best_error)
+        best_theta = xp.where(better, theta, best_theta)
+        best_reflect = xp.where(
+            better, xp.full(const.shape, 1.0 if reflect else 0.0), best_reflect
         )
-        for p in range(n_problems)
-    ]
+
+    theta_host = be.to_numpy(best_theta)
+    reflect_host = be.to_numpy(best_reflect) > 0.5
+    # Rebuild the winning rotation blocks and the *exact* residual error
+    # host-side (the sinusoid form above is algebraically equal but
+    # accumulates differently; reporting the literal residual keeps the
+    # scalar path's error semantics).
+    c = np.cos(theta_host)
+    s = np.sin(theta_host)
+    f = np.where(reflect_host, -1.0, 1.0)
+    best_rot = np.empty((n_problems, 2, 2))
+    best_rot[:, 0, 0] = c
+    best_rot[:, 0, 1] = -s
+    best_rot[:, 1, 0] = f * s
+    best_rot[:, 1, 1] = f * c
+    centered = np.stack([u_host, v_host], axis=-1)
+    mapped = np.einsum("psi,pij->psj", centered, best_rot)
+    residual = np.where(
+        valid[..., None], mapped + mu_tgt[:, None, :] - tgt, 0.0
+    )
+    best_error_host = np.einsum("psi,psi->p", residual, residual)
+
+    return _compose_batch_results(
+        best_rot, theta_host, best_error_host, reflect_host, mu_src, mu_tgt, counts
+    )
 
 
 def estimate_transform(source, target, method: str = "closed_form") -> TransformEstimate:

@@ -67,6 +67,16 @@ solver tolerance instead (``tests/test_distributed.py``).  The scalar
 paths stay in the tree precisely to keep these contracts testable.
 """
 
+from .backend import (
+    ARRAY_BACKEND_ENV_VAR,
+    ArrayBackend,
+    available_backends,
+    default_backend_name,
+    get_backend,
+    resolve_backend,
+    set_default_backend,
+    use_backend,
+)
 from .batch import (
     batch_gradient_descent,
     batch_lss_descend,
@@ -97,6 +107,14 @@ from .sharding import (
 )
 
 __all__ = [
+    "ARRAY_BACKEND_ENV_VAR",
+    "ArrayBackend",
+    "available_backends",
+    "default_backend_name",
+    "get_backend",
+    "resolve_backend",
+    "set_default_backend",
+    "use_backend",
     "batch_gradient_descent",
     "batch_lss_descend",
     "batch_lss_descend_padded",

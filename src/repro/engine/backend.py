@@ -1,0 +1,332 @@
+"""Array-backend (``xp``) resolution for the engine kernels.
+
+Every hot loop in the engine is expressed as masked/padded array
+stacks — the shape accelerator execution wants.  This module is the
+seam that lets those kernels run on a different array namespace
+(CuPy, JAX, or the strict Array-API reference implementation) without
+touching the NumPy path at all:
+
+- :func:`get_backend` resolves a backend *by name* into an
+  :class:`ArrayBackend` carrying the array namespace (``xp``) plus
+  device↔host transfer helpers.
+- :func:`resolve_backend` is what kernels call: explicit argument,
+  else the process default (:func:`set_default_backend` /
+  :func:`use_backend`), else ``$REPRO_ARRAY_BACKEND``, else NumPy.
+- Kernel boundaries stay host-side: inputs are NumPy ``float64``
+  arrays, outputs are NumPy ``float64``/bool arrays, whatever backend
+  did the arithmetic.  Campaign records and store payloads therefore
+  never see device arrays (determinism guarantee #9 in
+  ``docs/architecture.md``).
+
+The dispatch contract (pinned by ``tests/test_backend_parity.py``):
+
+``numpy``
+    The default.  Kernels take the **exact pre-seam code path** —
+    same operations, same order, byte-identical outputs, golden pins
+    and store payload bytes unchanged.
+``numpy-generic``
+    The NumPy namespace routed through the portable Array-API kernels
+    of :mod:`repro.engine.xp_kernels`.  Always available; it exists so
+    the cross-backend differential harness has a second real
+    implementation to compare on machines without accelerators, and
+    agrees with ``numpy`` to floating-point reduction tolerance.
+``array-api-strict``
+    The strict Array-API reference namespace (when importable) through
+    the same generic kernels — the CI leg that catches accidental
+    NumPy-isms.
+``cupy`` / ``jax``
+    GPU namespaces (when importable) through the generic kernels,
+    with device transfer at the kernel boundary.  Tolerance parity,
+    not byte parity.
+``auto``
+    The first importable accelerator (cupy, then jax), silently
+    falling back to ``numpy`` when none is present — never a warning,
+    never an error.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = [
+    "ARRAY_BACKEND_ENV_VAR",
+    "BACKEND_NAMES",
+    "ArrayBackend",
+    "available_backends",
+    "default_backend_name",
+    "get_backend",
+    "resolve_backend",
+    "set_default_backend",
+    "use_backend",
+]
+
+#: Environment variable naming the process-wide default backend
+#: (empty/whitespace values mean unset; invalid names raise the same
+#: :class:`ValidationError` the CLI turns into ``exit 2``).
+ARRAY_BACKEND_ENV_VAR = "REPRO_ARRAY_BACKEND"
+
+#: Every name :func:`get_backend` accepts, in display order.
+BACKEND_NAMES = ("numpy", "numpy-generic", "array-api-strict", "cupy", "jax", "auto")
+
+#: Names that may legitimately be unavailable in a given environment.
+_OPTIONAL_BACKENDS = ("array-api-strict", "cupy", "jax")
+
+
+@dataclass(frozen=True)
+class ArrayBackend:
+    """One resolved array backend.
+
+    Attributes
+    ----------
+    name : str
+        Canonical backend name (never ``"auto"`` — resolution happens
+        in :func:`get_backend`).
+    xp : namespace
+        The array namespace the generic kernels compute with.
+    is_native_numpy : bool
+        True only for the default ``"numpy"`` backend, which must take
+        the exact pre-seam kernel code path (byte-identity contract).
+    """
+
+    name: str
+    xp: Any
+    is_native_numpy: bool
+    _to_host: Optional[Callable[[Any], np.ndarray]] = field(
+        default=None, compare=False, repr=False
+    )
+
+    def asarray(self, array, *, dtype=None):
+        """Host array → device array in this backend's namespace.
+
+        Float inputs default to the backend's ``float64`` so every
+        backend computes at the same precision the NumPy path does.
+        """
+        if dtype is None:
+            host = np.asarray(array)
+            dtype = self.xp.int64 if host.dtype.kind in "iu" else self.xp.float64
+            array = host
+        return self.xp.asarray(array, dtype=dtype)
+
+    def to_numpy(self, array) -> np.ndarray:
+        """Device array → host NumPy array (the kernel-exit transfer).
+
+        Campaign records and store payloads are host-side ``float64``
+        bytes; every kernel funnels its outputs through here before
+        returning, whatever namespace produced them.
+        """
+        if isinstance(array, np.ndarray):
+            return array
+        if self._to_host is not None:
+            return self._to_host(array)
+        try:
+            return np.asarray(array)
+        except (TypeError, ValueError):
+            return np.from_dlpack(array)
+
+
+def _numpy_backend() -> ArrayBackend:
+    return ArrayBackend(name="numpy", xp=np, is_native_numpy=True)
+
+
+def _numpy_generic_backend() -> ArrayBackend:
+    return ArrayBackend(name="numpy-generic", xp=np, is_native_numpy=False)
+
+
+def _strict_backend() -> ArrayBackend:
+    import array_api_strict
+
+    return ArrayBackend(
+        name="array-api-strict",
+        xp=array_api_strict,
+        is_native_numpy=False,
+        # The strict namespace intentionally resists implicit NumPy
+        # coercion; DLPack is its sanctioned export path.
+        _to_host=lambda arr: np.from_dlpack(arr),
+    )
+
+
+def _cupy_backend() -> ArrayBackend:
+    import cupy
+
+    return ArrayBackend(
+        name="cupy",
+        xp=cupy,
+        is_native_numpy=False,
+        _to_host=lambda arr: cupy.asnumpy(arr),
+    )
+
+
+def _jax_backend() -> ArrayBackend:
+    import jax
+
+    # The parity contract is float64: JAX computes in float32 unless
+    # x64 is enabled, which would fail the tight cross-backend
+    # tolerances by orders of magnitude.
+    jax.config.update("jax_enable_x64", True)
+    import jax.numpy as jnp
+
+    return ArrayBackend(
+        name="jax",
+        xp=jnp,
+        is_native_numpy=False,
+        _to_host=lambda arr: np.asarray(arr),
+    )
+
+
+_FACTORIES: Dict[str, Callable[[], ArrayBackend]] = {
+    "numpy": _numpy_backend,
+    "numpy-generic": _numpy_generic_backend,
+    "array-api-strict": _strict_backend,
+    "cupy": _cupy_backend,
+    "jax": _jax_backend,
+}
+
+#: The native backend, pre-resolved: it is the answer on the hot
+#: ``resolve_backend(None)`` path and can never fail to construct.
+_NUMPY = _numpy_backend()
+
+#: Resolved-backend singletons; a namespace import happens once per
+#: process, not once per kernel call.
+_CACHE: Dict[str, ArrayBackend] = {"numpy": _NUMPY}
+
+#: Process default set by :func:`set_default_backend` (None = fall
+#: through to ``$REPRO_ARRAY_BACKEND``, then numpy).
+_DEFAULT: Optional[ArrayBackend] = None
+
+
+def _unknown(name: str) -> ValidationError:
+    known = ", ".join(BACKEND_NAMES)
+    return ValidationError(
+        f"unknown array backend {name!r}; known backends: {known}"
+    )
+
+
+def get_backend(name: str = "auto") -> ArrayBackend:
+    """Resolve an array backend by name.
+
+    ``"auto"`` picks the first importable accelerator (cupy, then
+    jax) and falls back to ``"numpy"`` silently — no warnings — when
+    none is present.  Optional backends whose library is missing raise
+    :class:`ValidationError` when named explicitly; unknown names
+    always raise.
+    """
+    name = str(name).strip().lower()
+    if name == "auto":
+        for candidate in ("cupy", "jax"):
+            try:
+                return get_backend(candidate)
+            except ValidationError:
+                continue
+        return get_backend("numpy")
+    if name not in _FACTORIES:
+        raise _unknown(name)
+    cached = _CACHE.get(name)
+    if cached is not None:
+        return cached
+    try:
+        backend = _FACTORIES[name]()
+    except ImportError as exc:
+        # NOTE: the hint must not call available_backends() — probing
+        # availability routes back through here.
+        raise ValidationError(
+            f"array backend {name!r} is not available in this environment "
+            f"({exc}); install it, use 'numpy'/'numpy-generic', or 'auto' "
+            "to fall back silently"
+        ) from None
+    _CACHE[name] = backend
+    return backend
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names (excluding ``"auto"``) resolvable in this environment."""
+    names = []
+    for name in BACKEND_NAMES:
+        if name == "auto":
+            continue
+        try:
+            get_backend(name)
+        except ValidationError:
+            continue
+        names.append(name)
+    return tuple(names)
+
+
+def _env_backend_name() -> Optional[str]:
+    value = os.environ.get(ARRAY_BACKEND_ENV_VAR, "").strip()
+    return value or None
+
+
+def default_backend_name() -> str:
+    """The name the next ``backend=None`` kernel call will resolve to.
+
+    Recorded in the telemetry manifest so every trace says which
+    namespace did the arithmetic.
+    """
+    if _DEFAULT is not None:
+        return _DEFAULT.name
+    env = _env_backend_name()
+    if env is None:
+        return "numpy"
+    return get_backend(env).name
+
+
+def set_default_backend(name: Optional[str]) -> None:
+    """Set (or with ``None`` clear) the process-default backend.
+
+    The explicit default wins over ``$REPRO_ARRAY_BACKEND``; clearing
+    it restores the env-var-then-numpy fallback.
+    """
+    global _DEFAULT
+    _DEFAULT = None if name is None else get_backend(name)
+
+
+class use_backend:
+    """Context manager scoping a default backend to a ``with`` block.
+
+    The scenario trial path wraps each solve in
+    ``use_backend(spec.solver.array_backend)`` so the knob rides the
+    picklable spec into campaign workers without threading a parameter
+    through every solver signature.  ``None`` is a no-op passthrough.
+    """
+
+    def __init__(self, name: Optional[str]):
+        self._name = name
+        self._saved: Optional[ArrayBackend] = None
+
+    def __enter__(self) -> Optional[ArrayBackend]:
+        global _DEFAULT
+        self._saved = _DEFAULT
+        if self._name is not None:
+            _DEFAULT = get_backend(self._name)
+        return _DEFAULT
+
+    def __exit__(self, *exc_info) -> None:
+        global _DEFAULT
+        _DEFAULT = self._saved
+
+
+def resolve_backend(backend=None) -> ArrayBackend:
+    """The kernel-entry resolver.
+
+    Accepts an :class:`ArrayBackend`, a name, or ``None`` (resolution
+    order: process default, ``$REPRO_ARRAY_BACKEND``, NumPy).  The
+    ``None`` → NumPy path is the hot one — two attribute reads and one
+    dict lookup — so the seam stays far under the enforced ≤5%
+    overhead ceiling (``benchmarks/test_bench_backend.py``).
+    """
+    if backend is None:
+        if _DEFAULT is not None:
+            return _DEFAULT
+        env = _env_backend_name()
+        if env is None:
+            return _NUMPY
+        return get_backend(env)
+    if isinstance(backend, ArrayBackend):
+        return backend
+    return get_backend(backend)

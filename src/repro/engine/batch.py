@@ -34,6 +34,14 @@ equivalence tests in ``tests/test_engine_batch.py`` and
 ``tests/test_distributed.py`` meaningful: a batched result may differ
 from the scalar one only by floating-point reduction error, never by
 algorithm.
+
+Every public kernel takes a ``backend`` argument (a name, an
+:class:`~repro.engine.backend.ArrayBackend`, or ``None`` for the
+process default).  On the default NumPy backend the kernel body below
+runs unchanged — the exact pre-seam code path, byte-identical outputs
+(determinism guarantee #9).  Any other backend dispatches to the
+portable Array-API twins in :mod:`repro.engine.xp_kernels`, which
+agree to floating-point tolerance (``tests/test_backend_parity.py``).
 """
 
 from __future__ import annotations
@@ -45,6 +53,8 @@ import numpy as np
 
 from .. import telemetry
 from ..errors import ValidationError
+from . import xp_kernels
+from .backend import resolve_backend
 
 __all__ = [
     "batch_gradient_descent",
@@ -180,6 +190,7 @@ def batch_gradient_descent(
     step_size: float = 0.1,
     max_iterations: int = 2000,
     tolerance: float = 1e-9,
+    backend=None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Adaptive gradient descent over a batch of multilateration problems.
 
@@ -201,6 +212,21 @@ def batch_gradient_descent(
     or step < 1e-12) on its own adaptive step size; finished problems
     are compacted out of the working batch.
     """
+    be = resolve_backend(backend)
+    if not be.is_native_numpy:
+        pos, res, iterations = xp_kernels.gd_descent_xp(
+            be,
+            np.asarray(anchors, dtype=float),
+            np.asarray(dists, dtype=float),
+            np.asarray(weights, dtype=float),
+            np.asarray(valid, dtype=bool),
+            np.asarray(initial, dtype=float),
+            step_size=step_size,
+            max_iterations=max_iterations,
+            tolerance=tolerance,
+        )
+        _count_kernel("gd", pos.shape[0], iterations, 0)
+        return pos, res
     total = anchors.shape[0]
     pos_out = np.empty((total, 2))
     res_out = np.empty(total)
@@ -408,6 +434,7 @@ def solve_multilateration_batch(
     step_size: float = 0.1,
     max_iterations: int = 2000,
     tolerance: float = 1e-9,
+    backend=None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Solve a batch of heterogeneous multilateration problems at once.
 
@@ -476,6 +503,9 @@ def solve_multilateration_batch(
         (totals > 0)[:, None], weighted / np.maximum(totals, 1e-300)[:, None], plain_mean
     )
 
+    # Stacking, the consistency filter, collinearity rejection, and the
+    # centroid init are one-shot setup and stay host-side NumPy for
+    # every backend; only the descent loop dispatches.
     pos, res = batch_gradient_descent(
         sub_anchors,
         sub_dists,
@@ -485,6 +515,7 @@ def solve_multilateration_batch(
         step_size=step_size,
         max_iterations=max_iterations,
         tolerance=tolerance,
+        backend=backend,
     )
     positions[solvable] = pos
     residuals[solvable] = res
@@ -504,6 +535,7 @@ def batch_lss_error(
     constraint_pairs: Optional[np.ndarray] = None,
     min_spacing_m: Optional[float] = None,
     constraint_weight: float = 10.0,
+    backend=None,
 ) -> np.ndarray:
     """LSS objective ``E`` for stacked configurations, shape (B,).
 
@@ -511,6 +543,11 @@ def batch_lss_error(
     the same reduction as :func:`repro.core.lss.lss_error`.
     """
     pts = np.asarray(configs, dtype=float)
+    be = resolve_backend(backend)
+    if not be.is_native_numpy:
+        return xp_kernels.lss_error_xp(
+            be, pts, edges, constraint_pairs, min_spacing_m, constraint_weight
+        )
     return _lss_error_t(pts.transpose(1, 0, 2), edges, constraint_pairs,
                         min_spacing_m, constraint_weight)
 
@@ -541,6 +578,7 @@ def batch_lss_gradient(
     constraint_pairs: Optional[np.ndarray] = None,
     min_spacing_m: Optional[float] = None,
     constraint_weight: float = 10.0,
+    backend=None,
 ) -> np.ndarray:
     """Gradient of the LSS objective for stacked configurations.
 
@@ -549,6 +587,11 @@ def batch_lss_gradient(
     :func:`repro.core.lss.lss_gradient`.
     """
     pts = np.asarray(configs, dtype=float)
+    be = resolve_backend(backend)
+    if not be.is_native_numpy:
+        return xp_kernels.lss_gradient_xp(
+            be, pts, edges, constraint_pairs, min_spacing_m, constraint_weight
+        )
     grad_t = _lss_gradient_t(pts.transpose(1, 0, 2), edges, constraint_pairs,
                              min_spacing_m, constraint_weight)
     return grad_t.transpose(1, 0, 2)
@@ -603,6 +646,7 @@ def batch_lss_descend(
     traces: Optional[List[List[float]]] = None,
     momentum: float = 0.9,
     patience: int = 50,
+    backend=None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """One momentum-gradient-descent round over stacked configurations.
 
@@ -623,6 +667,25 @@ def batch_lss_descend(
 
     Returns ``(configs (B, n, 2), errors (B,), converged (B,))``.
     """
+    be = resolve_backend(backend)
+    if not be.is_native_numpy:
+        pts, current, converged, epochs = xp_kernels.lss_descend_xp(
+            be,
+            np.asarray(configs, dtype=float),
+            edges,
+            constraint_pairs,
+            min_spacing_m=min_spacing_m,
+            constraint_weight=constraint_weight,
+            step_size=step_size,
+            max_epochs=max_epochs,
+            tolerance=tolerance,
+            free_mask=np.asarray(free_mask, dtype=bool),
+            traces=traces,
+            momentum=momentum,
+            patience=patience,
+        )
+        _count_kernel("lss", pts.shape[0], epochs)
+        return pts, current, converged
     # Node-major (n_nodes, B, 2) layout: fancy-indexing edge endpoints
     # and np.add.at scatter both address the leading axis directly.
     pts_t = np.ascontiguousarray(
@@ -781,6 +844,7 @@ def batch_lss_error_padded(
     constraint_valid: Optional[np.ndarray] = None,
     min_spacing_m: Optional[float] = None,
     constraint_weight: float = 10.0,
+    backend=None,
 ) -> np.ndarray:
     """LSS objective for a batch of *heterogeneous* problems, shape (B,).
 
@@ -808,6 +872,13 @@ def batch_lss_error_padded(
     """
     pts = np.asarray(configs, dtype=float)
     _require_constraint_mask(constraint_pairs, constraint_valid)
+    be = resolve_backend(backend)
+    if not be.is_native_numpy:
+        return xp_kernels.lss_error_padded_xp(
+            be, pts, np.asarray(pairs), np.asarray(dists, dtype=float),
+            np.asarray(weights, dtype=float),
+            constraint_pairs, constraint_valid, min_spacing_m, constraint_weight,
+        )
     return _lss_error_padded(
         pts,
         np.asarray(pairs),
@@ -931,6 +1002,7 @@ def batch_lss_gradient_padded(
     constraint_valid: Optional[np.ndarray] = None,
     min_spacing_m: Optional[float] = None,
     constraint_weight: float = 10.0,
+    backend=None,
 ) -> np.ndarray:
     """Gradient of the heterogeneous LSS objective, shape (B, N, 2).
 
@@ -940,6 +1012,13 @@ def batch_lss_gradient_padded(
     """
     pts = np.asarray(configs, dtype=float)
     _require_constraint_mask(constraint_pairs, constraint_valid)
+    be = resolve_backend(backend)
+    if not be.is_native_numpy:
+        return xp_kernels.lss_gradient_padded_xp(
+            be, pts, np.asarray(pairs), np.asarray(dists, dtype=float),
+            np.asarray(weights, dtype=float),
+            constraint_pairs, constraint_valid, min_spacing_m, constraint_weight,
+        )
     return _lss_gradient_padded(
         pts,
         np.asarray(pairs),
@@ -967,6 +1046,7 @@ def batch_lss_descend_padded(
     tolerance: float = 1e-7,
     momentum: float = 0.9,
     patience: int = 50,
+    backend=None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """One momentum-descent round over a batch of heterogeneous problems.
 
@@ -982,6 +1062,27 @@ def batch_lss_descend_padded(
     straggler treatment as :func:`batch_gradient_descent`), so a few
     slow neighborhoods do not drag the whole stack's per-epoch cost.
     """
+    be = resolve_backend(backend)
+    if not be.is_native_numpy:
+        _require_constraint_mask(constraint_pairs, constraint_valid)
+        out_pts, out_err, out_conv, epochs = xp_kernels.lss_descend_padded_xp(
+            be,
+            np.asarray(configs, dtype=float),
+            np.asarray(pairs),
+            np.asarray(dists, dtype=float),
+            np.asarray(weights, dtype=float),
+            constraint_pairs=constraint_pairs,
+            constraint_valid=constraint_valid,
+            min_spacing_m=min_spacing_m,
+            constraint_weight=constraint_weight,
+            step_size=step_size,
+            max_epochs=max_epochs,
+            tolerance=tolerance,
+            momentum=momentum,
+            patience=patience,
+        )
+        _count_kernel("lss_padded", out_pts.shape[0], epochs, 0)
+        return out_pts, out_err, out_conv
     pts = np.array(configs, dtype=float)
     total, n_nodes = pts.shape[:2]
     pts_out = pts.copy()
@@ -1089,6 +1190,7 @@ def lss_localize_multistart(
     seeds: Sequence,
     initial: Optional[np.ndarray] = None,
     fixed_positions: Optional[Dict[int, Sequence[float]]] = None,
+    backend=None,
 ) -> list:
     """Run independent seeded LSS minimizations in vectorized lockstep.
 
@@ -1161,7 +1263,7 @@ def lss_localize_multistart(
     traces: List[List[float]] = [[] for _ in range(n_batch)]
     boundaries: List[List[int]] = [[] for _ in range(n_batch)]
     best_pts = pts.copy()
-    best_error = batch_lss_error(pts, edges, **kwargs)
+    best_error = batch_lss_error(pts, edges, backend=backend, **kwargs)
     converged = np.zeros(n_batch, dtype=bool)
     for round_index in range(config.restarts):
         for b in range(n_batch):
@@ -1187,6 +1289,7 @@ def lss_localize_multistart(
             tolerance=config.tolerance,
             free_mask=free_mask,
             traces=traces,
+            backend=backend,
         )
         better = out_error < best_error
         best_pts = np.where(better[:, None, None], out_pts, best_pts)

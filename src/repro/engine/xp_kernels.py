@@ -1,0 +1,620 @@
+"""Portable Array-API twins of the engine's batched NumPy kernels.
+
+Every function here re-implements one hot kernel of
+:mod:`repro.engine.batch` (or the closed-form transform batch of
+:mod:`repro.core.transforms`) against a generic array namespace
+``xp``, restricted to the Array-API standard surface so the same code
+runs on NumPy, CuPy, JAX, and ``array_api_strict``:
+
+- **No in-place mutation.**  Updates are ``xp.where`` selections, so
+  immutable-array namespaces (JAX) work unchanged.
+- **No data-dependent shapes.**  Where the NumPy kernels compact
+  finished problems out of the working batch (a CPU win), these
+  kernels freeze them under a boolean ``active`` mask and keep the
+  batch shape fixed — the layout accelerators prefer anyway.  The
+  per-problem accept/reject trajectory is identical either way, so
+  results agree with the NumPy path to floating-point reduction
+  tolerance (the cross-backend parity contract of
+  ``tests/test_backend_parity.py``).
+- **No ``np.add.at`` / ``np.bincount`` scatters.**  Gradient
+  scatter-accumulation runs as a matmul against a signed membership
+  matrix built host-side at kernel entry — O(N·E) flops instead of
+  O(E), the standard trade for portable scatter.
+
+These kernels optimize for portability and accelerator-shaped
+dataflow, not for CPU throughput; the NumPy default path in
+:mod:`repro.engine.batch` remains the exact pre-seam code.  All
+inputs arrive as host NumPy arrays and all outputs return as host
+NumPy arrays — device residency begins and ends inside each call
+(:mod:`repro.engine.backend`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "gd_descent_xp",
+    "lss_error_xp",
+    "lss_gradient_xp",
+    "lss_descend_xp",
+    "lss_error_padded_xp",
+    "lss_gradient_padded_xp",
+    "lss_descend_padded_xp",
+    "transforms_closed_form_xp",
+]
+
+
+def _hypot(xp, x, y):
+    """``sqrt(x^2 + y^2)`` on the standard surface (``hypot`` is a
+    2023.12 extension not every namespace ships)."""
+    return xp.sqrt(x * x + y * y)
+
+
+def _atan2(xp, y, x):
+    return getattr(xp, "atan2", getattr(xp, "arctan2", None))(y, x)
+
+
+# ---------------------------------------------------------------------------
+# Multilateration gradient descent (twin of batch.batch_gradient_descent)
+# ---------------------------------------------------------------------------
+
+
+def gd_descent_xp(
+    backend,
+    anchors: np.ndarray,
+    dists: np.ndarray,
+    weights: np.ndarray,
+    valid: np.ndarray,
+    initial: np.ndarray,
+    *,
+    step_size: float,
+    max_iterations: int,
+    tolerance: float,
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Masked lockstep twin of :func:`repro.engine.batch.batch_gradient_descent`.
+
+    Same accept/reject rule per problem (×1.1 step on improvement, /2
+    on overshoot, stop on gradient norm < *tolerance* or step
+    underflow); finished problems freeze in place instead of being
+    compacted out.  Returns host ``(positions, residuals,
+    iterations_run)``.
+    """
+    xp = backend.xp
+    total = anchors.shape[0]
+    if total == 0:
+        return np.empty((0, 2)), np.empty(0), 0
+
+    valid_f = valid.astype(np.float64)
+    a = backend.asarray(np.where(valid[..., None], anchors, 0.0))
+    d = backend.asarray(np.where(valid, dists, 0.0))
+    w = backend.asarray(np.where(valid, weights, 0.0))
+    sqrt_w = xp.sqrt(w)
+    w2 = 2.0 * w
+    del valid_f
+
+    def objective(positions):
+        diff = positions[:, None, :] - a
+        ranges = _hypot(xp, diff[..., 0], diff[..., 1])
+        r = sqrt_w * (ranges - d)
+        return xp.sum(r * r, axis=1)
+
+    pos = backend.asarray(np.asarray(initial, dtype=float))
+    current = objective(pos)
+    alpha = backend.asarray(np.full(total, float(step_size)))
+    active = backend.asarray(np.ones(total, dtype=bool), dtype=xp.bool)
+    zeros_b = xp.zeros(total, dtype=xp.float64)
+    iterations_run = 0
+
+    for _ in range(max_iterations):
+        iterations_run += 1
+        diff = pos[:, None, :] - a
+        ranges = xp.maximum(_hypot(xp, diff[..., 0], diff[..., 1]), 1e-12)
+        coeff = w2 * (ranges - d) / ranges
+        grad = xp.sum(coeff[..., None] * diff, axis=1)
+        gnorm = _hypot(xp, grad[:, 0], grad[:, 1])
+        not_converged = gnorm >= tolerance
+
+        candidate = pos - alpha[:, None] * grad
+        value = objective(candidate)
+        improved = active & not_converged & (value < current)
+        pos = xp.where(improved[:, None], candidate, pos)
+        current = xp.where(improved, value, current)
+        rejected = active & ~improved
+        alpha = xp.where(
+            improved, alpha * 1.1, xp.where(rejected, alpha * 0.5, alpha)
+        )
+        finished = rejected & (~not_converged | (alpha < 1e-12))
+        active = active & ~finished
+        if not bool(xp.any(active)):
+            break
+        del zeros_b  # unused accumulator; keep namespace honest
+        zeros_b = None  # type: ignore[assignment]
+
+    return backend.to_numpy(pos), backend.to_numpy(current), iterations_run
+
+
+# ---------------------------------------------------------------------------
+# Shared-edge LSS (twins of batch_lss_error / _gradient / _descend)
+# ---------------------------------------------------------------------------
+
+
+def _signed_membership(pairs: np.ndarray, n_nodes: int) -> np.ndarray:
+    """Host-built (n_nodes, n_edges) scatter matrix: +1 at ``i``
+    endpoints, -1 at ``j`` endpoints."""
+    n_edges = pairs.shape[0]
+    member = np.zeros((n_nodes, n_edges))
+    cols = np.arange(n_edges)
+    member[pairs[:, 0], cols] += 1.0
+    member[pairs[:, 1], cols] -= 1.0
+    return member
+
+
+def _shared_device_state(backend, edges, constraint_pairs, n_nodes: int):
+    """Transfer one shared-edge problem's static arrays to the device."""
+    xp = backend.xp
+    state = {
+        "i_idx": backend.asarray(np.asarray(edges.pairs[:, 0], dtype=np.int64)),
+        "j_idx": backend.asarray(np.asarray(edges.pairs[:, 1], dtype=np.int64)),
+        "dists": backend.asarray(np.asarray(edges.distances, dtype=float)),
+        "weights": backend.asarray(np.asarray(edges.weights, dtype=float)),
+        "member": backend.asarray(_signed_membership(np.asarray(edges.pairs), n_nodes)),
+        "ci": None,
+        "cj": None,
+        "cmember": None,
+    }
+    if constraint_pairs is not None and constraint_pairs.size:
+        cp = np.asarray(constraint_pairs, dtype=np.int64)
+        state["ci"] = backend.asarray(cp[:, 0])
+        state["cj"] = backend.asarray(cp[:, 1])
+        state["cmember"] = backend.asarray(_signed_membership(cp, n_nodes))
+    del xp
+    return state
+
+
+def _shared_error(xp, pts, state, min_spacing_m, constraint_weight):
+    """Objective on batch-major ``(B, N, 2)`` device stacks."""
+    diff = xp.take(pts, state["i_idx"], axis=1) - xp.take(pts, state["j_idx"], axis=1)
+    comp = _hypot(xp, diff[..., 0], diff[..., 1])
+    value = xp.sum(state["weights"] * (comp - state["dists"]) ** 2, axis=1)
+    if min_spacing_m is not None and state["ci"] is not None:
+        cdiff = xp.take(pts, state["ci"], axis=1) - xp.take(pts, state["cj"], axis=1)
+        ccomp = _hypot(xp, cdiff[..., 0], cdiff[..., 1])
+        violation = xp.minimum(ccomp, min_spacing_m) - min_spacing_m
+        value = value + constraint_weight * xp.sum(violation * violation, axis=1)
+    return value
+
+
+def _shared_gradient(xp, pts, state, min_spacing_m, constraint_weight):
+    """Gradient via signed-membership matmul scatter, ``(B, N, 2)``."""
+    diff = xp.take(pts, state["i_idx"], axis=1) - xp.take(pts, state["j_idx"], axis=1)
+    comp = _hypot(xp, diff[..., 0], diff[..., 1])
+    safe = xp.maximum(comp, 1e-12)
+    coeff = (2.0 * state["weights"]) * (comp - state["dists"]) / safe
+    grad = xp.matmul(state["member"], coeff[..., None] * diff)
+    if min_spacing_m is not None and state["ci"] is not None:
+        cdiff = xp.take(pts, state["ci"], axis=1) - xp.take(pts, state["cj"], axis=1)
+        ccomp = _hypot(xp, cdiff[..., 0], cdiff[..., 1])
+        vcomp = xp.maximum(ccomp, 1e-12)
+        vcoeff = 2.0 * constraint_weight * (vcomp - min_spacing_m) / vcomp
+        vcoeff = xp.where(
+            ccomp < min_spacing_m, vcoeff, xp.zeros(vcoeff.shape, dtype=vcoeff.dtype)
+        )
+        grad = grad + xp.matmul(state["cmember"], vcoeff[..., None] * cdiff)
+    return grad
+
+
+def lss_error_xp(
+    backend,
+    configs: np.ndarray,
+    edges,
+    constraint_pairs: Optional[np.ndarray],
+    min_spacing_m: Optional[float],
+    constraint_weight: float,
+) -> np.ndarray:
+    """Generic twin of :func:`repro.engine.batch.batch_lss_error`."""
+    xp = backend.xp
+    pts = backend.asarray(np.asarray(configs, dtype=float))
+    state = _shared_device_state(backend, edges, constraint_pairs, configs.shape[1])
+    return backend.to_numpy(
+        _shared_error(xp, pts, state, min_spacing_m, constraint_weight)
+    )
+
+
+def lss_gradient_xp(
+    backend,
+    configs: np.ndarray,
+    edges,
+    constraint_pairs: Optional[np.ndarray],
+    min_spacing_m: Optional[float],
+    constraint_weight: float,
+) -> np.ndarray:
+    """Generic twin of :func:`repro.engine.batch.batch_lss_gradient`."""
+    xp = backend.xp
+    pts = backend.asarray(np.asarray(configs, dtype=float))
+    state = _shared_device_state(backend, edges, constraint_pairs, configs.shape[1])
+    return backend.to_numpy(
+        _shared_gradient(xp, pts, state, min_spacing_m, constraint_weight)
+    )
+
+
+def lss_descend_xp(
+    backend,
+    configs: np.ndarray,
+    edges,
+    constraint_pairs: Optional[np.ndarray],
+    *,
+    min_spacing_m: Optional[float],
+    constraint_weight: float,
+    step_size: float,
+    max_epochs: int,
+    tolerance: float,
+    free_mask: np.ndarray,
+    traces: Optional[List[List[float]]] = None,
+    momentum: float = 0.9,
+    patience: int = 50,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Generic twin of :func:`repro.engine.batch.batch_lss_descend`.
+
+    Identical accept/reject schedule (×1.05 on improvement, /2 with
+    momentum reset on overshoot, *patience* stalled epochs or step
+    underflow to finish).  When *traces* is given, the per-epoch error
+    of every active configuration is pulled back to the host each
+    epoch — supported for parity, priced accordingly.
+    """
+    xp = backend.xp
+    configs = np.asarray(configs, dtype=float)
+    n_batch, n_nodes = configs.shape[:2]
+    state = _shared_device_state(backend, edges, constraint_pairs, n_nodes)
+
+    pts = backend.asarray(configs)
+    free = backend.asarray(
+        np.asarray(free_mask, dtype=float).reshape(1, n_nodes, 1)
+    )
+    current = _shared_error(xp, pts, state, min_spacing_m, constraint_weight)
+    alpha = backend.asarray(np.full(n_batch, float(step_size)))
+    velocity = xp.zeros(pts.shape, dtype=pts.dtype)
+    stall = backend.asarray(np.zeros(n_batch, dtype=np.int64))
+    active = backend.asarray(np.ones(n_batch, dtype=bool), dtype=xp.bool)
+    converged = backend.asarray(np.zeros(n_batch, dtype=bool), dtype=xp.bool)
+    zero_i = xp.zeros(n_batch, dtype=stall.dtype)
+    zero_v = xp.zeros(pts.shape, dtype=pts.dtype)
+    epochs_run = 0
+
+    for _ in range(max_epochs):
+        epochs_run += 1
+        grad = _shared_gradient(xp, pts, state, min_spacing_m, constraint_weight)
+        grad = grad * free
+        velocity_new = momentum * velocity - alpha[:, None, None] * grad
+        candidate = pts + velocity_new
+        value = _shared_error(xp, candidate, state, min_spacing_m, constraint_weight)
+        improvement = (current - value) / xp.maximum(current, 1e-12)
+        improved = active & (value < current)
+        rejected = active & ~improved
+
+        imp3 = improved[:, None, None]
+        pts = xp.where(imp3, candidate, pts)
+        current = xp.where(improved, value, current)
+        velocity = xp.where(rejected[:, None, None], zero_v, velocity_new)
+        alpha = xp.where(
+            improved, alpha * 1.05, xp.where(rejected, alpha * 0.5, alpha)
+        )
+        stalled = rejected | (improved & (improvement < tolerance))
+        stall = xp.where(
+            improved & (improvement >= tolerance),
+            zero_i,
+            stall + xp.astype(stalled, stall.dtype),
+        )
+
+        if traces is not None:
+            host_active = backend.to_numpy(active)
+            host_current = backend.to_numpy(current)
+            for b in np.nonzero(host_active)[0]:
+                traces[b].append(float(host_current[b]))
+
+        underflow = rejected & (alpha < 1e-14)
+        exhausted = active & (stall >= patience) & ~underflow
+        newly_done = underflow | exhausted
+        converged = converged | newly_done
+        active = active & ~newly_done
+        if not bool(xp.any(active)):
+            break
+
+    return (
+        backend.to_numpy(pts),
+        backend.to_numpy(current),
+        backend.to_numpy(converged).astype(bool),
+        epochs_run,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Padded heterogeneous LSS (twins of the *_padded kernels)
+# ---------------------------------------------------------------------------
+
+
+def _padded_membership(pairs: np.ndarray, n_nodes: int) -> np.ndarray:
+    """Host-built ``(B, N, E)`` signed scatter stack.
+
+    Padded ``(0, 0)`` slots contribute +1 and -1 at the same cell and
+    cancel to an exact zero, mirroring the flat-bincount path's
+    zero-weight treatment.
+    """
+    n_problems, n_edges = pairs.shape[:2]
+    member = np.zeros((n_problems, n_nodes, n_edges))
+    b_idx = np.arange(n_problems)[:, None]
+    e_idx = np.arange(n_edges)[None, :]
+    np.add.at(member, (b_idx, pairs[..., 0], e_idx), 1.0)
+    np.add.at(member, (b_idx, pairs[..., 1], e_idx), -1.0)
+    return member
+
+
+def _padded_device_state(
+    backend,
+    pairs: np.ndarray,
+    dists: np.ndarray,
+    weights: np.ndarray,
+    constraint_pairs: Optional[np.ndarray],
+    constraint_valid: Optional[np.ndarray],
+    n_nodes: int,
+):
+    """Transfer a padded problem stack's static arrays to the device.
+
+    Edge endpoints become flat ``(B·E,)`` indices into the ``(B·N, 2)``
+    view (the same flattening the NumPy kernels use), and each pair
+    stack gets its signed membership matmul-scatter matrix.
+    """
+    pairs = np.asarray(pairs, dtype=np.int64)
+    n_problems = pairs.shape[0]
+    base = np.arange(n_problems, dtype=np.int64)[:, None] * n_nodes
+    state = {
+        "n_problems": n_problems,
+        "n_nodes": n_nodes,
+        "fi": backend.asarray((base + pairs[..., 0]).reshape(-1)),
+        "fj": backend.asarray((base + pairs[..., 1]).reshape(-1)),
+        "dists": backend.asarray(np.asarray(dists, dtype=float)),
+        "weights": backend.asarray(np.asarray(weights, dtype=float)),
+        "member": backend.asarray(_padded_membership(pairs, n_nodes)),
+        "cfi": None,
+        "cfj": None,
+        "cvalid": None,
+        "cmember": None,
+    }
+    if constraint_pairs is not None and np.asarray(constraint_pairs).size:
+        cp = np.asarray(constraint_pairs, dtype=np.int64)
+        state["cfi"] = backend.asarray((base + cp[..., 0]).reshape(-1))
+        state["cfj"] = backend.asarray((base + cp[..., 1]).reshape(-1))
+        state["cvalid"] = backend.asarray(
+            np.asarray(constraint_valid, dtype=bool), dtype=backend.xp.bool
+        )
+        state["cmember"] = backend.asarray(_padded_membership(cp, n_nodes))
+    return state
+
+
+def _padded_gather(xp, pts, flat_i, flat_j, shape):
+    """Endpoint differences via flat take on the ``(B·N, 2)`` view."""
+    flat = xp.reshape(pts, (-1, 2))
+    gi = xp.reshape(xp.take(flat, flat_i, axis=0), shape)
+    gj = xp.reshape(xp.take(flat, flat_j, axis=0), shape)
+    return gi - gj
+
+
+def _padded_error(xp, pts, state, min_spacing_m, constraint_weight):
+    shape = (state["n_problems"], -1, 2)
+    diff = _padded_gather(xp, pts, state["fi"], state["fj"], shape)
+    comp = _hypot(xp, diff[..., 0], diff[..., 1])
+    value = xp.sum(state["weights"] * (comp - state["dists"]) ** 2, axis=1)
+    if min_spacing_m is not None and state["cfi"] is not None:
+        cdiff = _padded_gather(xp, pts, state["cfi"], state["cfj"], shape)
+        ccomp = _hypot(xp, cdiff[..., 0], cdiff[..., 1])
+        violation = xp.minimum(ccomp, min_spacing_m) - min_spacing_m
+        violation = xp.where(
+            state["cvalid"], violation, xp.zeros(violation.shape, dtype=violation.dtype)
+        )
+        value = value + constraint_weight * xp.sum(violation * violation, axis=1)
+    return value
+
+
+def _padded_gradient(xp, pts, state, min_spacing_m, constraint_weight):
+    shape = (state["n_problems"], -1, 2)
+    diff = _padded_gather(xp, pts, state["fi"], state["fj"], shape)
+    comp = _hypot(xp, diff[..., 0], diff[..., 1])
+    safe = xp.maximum(comp, 1e-12)
+    coeff = (2.0 * state["weights"]) * (comp - state["dists"]) / safe
+    grad = xp.matmul(state["member"], coeff[..., None] * diff)
+    if min_spacing_m is not None and state["cfi"] is not None:
+        cdiff = _padded_gather(xp, pts, state["cfi"], state["cfj"], shape)
+        ccomp = _hypot(xp, cdiff[..., 0], cdiff[..., 1])
+        vcomp = xp.maximum(ccomp, 1e-12)
+        vcoeff = 2.0 * constraint_weight * (vcomp - min_spacing_m) / vcomp
+        active = (ccomp < min_spacing_m) & state["cvalid"]
+        vcoeff = xp.where(active, vcoeff, xp.zeros(vcoeff.shape, dtype=vcoeff.dtype))
+        grad = grad + xp.matmul(state["cmember"], vcoeff[..., None] * cdiff)
+    return grad
+
+
+def lss_error_padded_xp(
+    backend, configs, pairs, dists, weights,
+    constraint_pairs, constraint_valid, min_spacing_m, constraint_weight,
+) -> np.ndarray:
+    """Generic twin of :func:`repro.engine.batch.batch_lss_error_padded`."""
+    xp = backend.xp
+    configs = np.asarray(configs, dtype=float)
+    state = _padded_device_state(
+        backend, pairs, dists, weights, constraint_pairs, constraint_valid,
+        configs.shape[1],
+    )
+    pts = backend.asarray(configs)
+    return backend.to_numpy(
+        _padded_error(xp, pts, state, min_spacing_m, constraint_weight)
+    )
+
+
+def lss_gradient_padded_xp(
+    backend, configs, pairs, dists, weights,
+    constraint_pairs, constraint_valid, min_spacing_m, constraint_weight,
+) -> np.ndarray:
+    """Generic twin of :func:`repro.engine.batch.batch_lss_gradient_padded`."""
+    xp = backend.xp
+    configs = np.asarray(configs, dtype=float)
+    state = _padded_device_state(
+        backend, pairs, dists, weights, constraint_pairs, constraint_valid,
+        configs.shape[1],
+    )
+    pts = backend.asarray(configs)
+    return backend.to_numpy(
+        _padded_gradient(xp, pts, state, min_spacing_m, constraint_weight)
+    )
+
+
+def lss_descend_padded_xp(
+    backend, configs, pairs, dists, weights,
+    *,
+    constraint_pairs, constraint_valid, min_spacing_m, constraint_weight,
+    step_size, max_epochs, tolerance, momentum=0.9, patience=50,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Generic twin of :func:`repro.engine.batch.batch_lss_descend_padded`.
+
+    Finished problems freeze under the ``active`` mask instead of
+    being compacted; each still-active problem's accept/reject
+    trajectory matches the NumPy kernel's.
+    """
+    xp = backend.xp
+    configs = np.asarray(configs, dtype=float)
+    n_batch, n_nodes = configs.shape[:2]
+    if n_batch == 0:
+        return configs.copy(), np.empty(0), np.zeros(0, dtype=bool), 0
+    state = _padded_device_state(
+        backend, pairs, dists, weights, constraint_pairs, constraint_valid, n_nodes
+    )
+
+    pts = backend.asarray(configs)
+    current = _padded_error(xp, pts, state, min_spacing_m, constraint_weight)
+    alpha = backend.asarray(np.full(n_batch, float(step_size)))
+    velocity = xp.zeros(pts.shape, dtype=pts.dtype)
+    stall = backend.asarray(np.zeros(n_batch, dtype=np.int64))
+    active = backend.asarray(np.ones(n_batch, dtype=bool), dtype=xp.bool)
+    converged = backend.asarray(np.zeros(n_batch, dtype=bool), dtype=xp.bool)
+    zero_i = xp.zeros(n_batch, dtype=stall.dtype)
+    zero_v = xp.zeros(pts.shape, dtype=pts.dtype)
+    epochs_run = 0
+
+    for _ in range(max_epochs):
+        epochs_run += 1
+        grad = _padded_gradient(xp, pts, state, min_spacing_m, constraint_weight)
+        velocity_new = momentum * velocity - alpha[:, None, None] * grad
+        candidate = pts + velocity_new
+        value = _padded_error(xp, candidate, state, min_spacing_m, constraint_weight)
+        improvement = (current - value) / xp.maximum(current, 1e-12)
+        improved = active & (value < current)
+        rejected = active & ~improved
+
+        pts = xp.where(improved[:, None, None], candidate, pts)
+        current = xp.where(improved, value, current)
+        velocity = xp.where(rejected[:, None, None], zero_v, velocity_new)
+        alpha = xp.where(
+            improved, alpha * 1.05, xp.where(rejected, alpha * 0.5, alpha)
+        )
+        stalled = rejected | (improved & (improvement < tolerance))
+        stall = xp.where(
+            improved & (improvement >= tolerance),
+            zero_i,
+            stall + xp.astype(stalled, stall.dtype),
+        )
+
+        finished = (rejected & (alpha < 1e-14)) | (active & (stall >= patience))
+        converged = converged | finished
+        active = active & ~finished
+        if not bool(xp.any(active)):
+            break
+
+    return (
+        backend.to_numpy(pts),
+        backend.to_numpy(current),
+        backend.to_numpy(converged).astype(bool),
+        epochs_run,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Closed-form transform batch (twin of estimate_transforms_closed_form_batch)
+# ---------------------------------------------------------------------------
+
+
+def transforms_closed_form_xp(
+    backend,
+    sources: np.ndarray,
+    targets: np.ndarray,
+    valid: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Generic twin of the closed-form transform batch's numeric core.
+
+    Evaluates the same four candidates per problem (both rotation
+    roots × both reflection factors) with masked statistics and keeps
+    the least-error combination.  Returns host arrays
+    ``(rot (P, 2, 2), theta (P,), error (P,), reflected (P,))`` — the
+    caller composes the 3×3 matrices and result objects host-side.
+    """
+    import math
+
+    xp = backend.xp
+    sources = np.asarray(sources, dtype=float)
+    targets = np.asarray(targets, dtype=float)
+    valid = np.asarray(valid, dtype=bool)
+    n_problems = sources.shape[0]
+
+    src = backend.asarray(sources)
+    tgt = backend.asarray(targets)
+    vmask = backend.asarray(valid, dtype=xp.bool)
+    cnt = xp.sum(xp.astype(vmask, xp.float64), axis=1)
+    v3 = vmask[..., None]
+    zero2 = xp.zeros(src.shape, dtype=src.dtype)
+    mu_src = xp.sum(xp.where(v3, src, zero2), axis=1) / cnt[:, None]
+    mu_tgt = xp.sum(xp.where(v3, tgt, zero2), axis=1) / cnt[:, None]
+    zero1 = xp.zeros(src.shape[:2], dtype=src.dtype)
+    u = xp.where(vmask, src[..., 0] - mu_src[:, 0:1], zero1)
+    v = xp.where(vmask, src[..., 1] - mu_src[:, 1:2], zero1)
+    x = xp.where(vmask, tgt[..., 0] - mu_tgt[:, 0:1], zero1)
+    y = xp.where(vmask, tgt[..., 1] - mu_tgt[:, 1:2], zero1)
+    centered = xp.stack([u, v], axis=-1)
+
+    inf = xp.full(cnt.shape, float("inf"), dtype=xp.float64)
+    best_error = inf
+    best_theta = xp.zeros(cnt.shape, dtype=xp.float64)
+    best_reflect = xp.zeros(cnt.shape, dtype=xp.float64)
+    best_rot = xp.zeros((n_problems, 2, 2), dtype=xp.float64)
+
+    for reflect in (False, True):
+        f = -1.0 if reflect else 1.0
+        v_eff = -v if reflect else v
+        c_xu = xp.sum(x * u, axis=1) / cnt
+        c_yv = xp.sum(y * v_eff, axis=1) / cnt
+        c_xv = xp.sum(x * v_eff, axis=1) / cnt
+        c_yu = xp.sum(y * u, axis=1) / cnt
+        theta_root = _atan2(xp, c_xv - c_yu, c_xu + c_yv)
+        for offset in (0.0, math.pi):
+            theta = theta_root + offset
+            c = xp.cos(theta)
+            s = xp.sin(theta)
+            row0 = xp.stack([c, -s], axis=-1)
+            row1 = xp.stack([f * s, f * c], axis=-1)
+            rot = xp.stack([row0, row1], axis=1)
+            mapped = xp.matmul(centered, rot)
+            residual = xp.where(v3, mapped + mu_tgt[:, None, :] - tgt, zero2)
+            error = xp.sum(residual * residual, axis=(1, 2))
+            better = error < best_error
+            best_error = xp.where(better, error, best_error)
+            best_theta = xp.where(better, theta, best_theta)
+            best_reflect = xp.where(
+                better, xp.full(cnt.shape, 1.0 if reflect else 0.0), best_reflect
+            )
+            best_rot = xp.where(better[:, None, None], rot, best_rot)
+
+    return (
+        backend.to_numpy(best_rot),
+        backend.to_numpy(best_theta),
+        backend.to_numpy(best_error),
+        backend.to_numpy(best_reflect) > 0.5,
+    )
