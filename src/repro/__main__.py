@@ -26,6 +26,12 @@ Subcommands
     ``migrate SRC DST`` (move a store between backends byte-identically).
     Store paths accept both backend forms: a directory is the
     filesystem layout, a ``.sqlite``/``.db`` path the SQLite backend.
+``lint [PATHS...]``
+    Statically check source against the repo's invariant rules
+    (global-RNG use, Array-API kernel purity, wall-clock reads, and the
+    rest of RPL001-RPL008 — see ``docs/linting.md``).  With no paths it
+    lints the installed ``repro`` package; ``--json`` emits a versioned
+    machine-readable report; exit 1 means findings.
 ``trace <subcommand>``
     Inspect telemetry traces written by ``run --trace PATH`` (or the
     ``REPRO_TRACE`` environment variable): ``summarize`` renders one
@@ -42,6 +48,7 @@ Examples::
     python -m repro run town-multilateration --shard 2/3
     python -m repro run fig16 --trace t.jsonl
     python -m repro trace summarize t.jsonl
+    python -m repro lint --json
     python -m repro trace compare baseline.jsonl current.jsonl
     python -m repro merge town-multilateration --shards 3
     python -m repro store stats
@@ -289,6 +296,27 @@ def _build_parser():
     )
     mig.add_argument("src", metavar="SRC", help="source store (directory or .sqlite)")
     mig.add_argument("dst", metavar="DST", help="destination store")
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically check the repro tree against its invariant rules "
+        "(RPL001-RPL008; see docs/linting.md)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the installed repro package)",
+    )
+    lint.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the versioned JSON report instead of text",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule registry (code, name, summary) and exit",
+    )
     return parser, run
 
 
@@ -832,6 +860,10 @@ def main(argv=None) -> int:
             return _cmd_trace(args)
         if args.command == "merge":
             return _cmd_merge(args)
+        if args.command == "lint":
+            from .lint.cli import run_lint
+
+            return run_lint(args)
         if args.command == "store":
             try:
                 return _cmd_store(args)

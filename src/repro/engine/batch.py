@@ -47,6 +47,7 @@ agree to floating-point tolerance (``tests/test_backend_parity.py``).
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -168,16 +169,31 @@ def _finish_scalar(
     return pos, current
 
 
+@lru_cache(maxsize=None)
+def _kernel_counter_names(name: str) -> Tuple[str, str, str, str]:
+    """Counter names for one kernel, formatted once per process: the
+    disabled-telemetry path must not pay f-string rendering per solve
+    (lint rule RPL008)."""
+    prefix = f"engine.batch.{name}"
+    return (
+        f"{prefix}_solves",
+        f"{prefix}_problems",
+        f"{prefix}_iterations",
+        f"{prefix}_compactions",
+    )
+
+
 def _count_kernel(
     name: str, n_problems: int, iterations: int, compactions: Optional[int] = None
 ) -> None:
     """One counter bundle per kernel *call* (never per epoch), so the
     disabled-telemetry path stays a handful of no-op calls per solve."""
-    telemetry.count(f"engine.batch.{name}_solves", 1)
-    telemetry.count(f"engine.batch.{name}_problems", n_problems)
-    telemetry.count(f"engine.batch.{name}_iterations", iterations)
+    solves, problems, iters, compact = _kernel_counter_names(name)
+    telemetry.count(solves, 1)
+    telemetry.count(problems, n_problems)
+    telemetry.count(iters, iterations)
     if compactions is not None:
-        telemetry.count(f"engine.batch.{name}_compactions", compactions)
+        telemetry.count(compact, compactions)
 
 
 def batch_gradient_descent(

@@ -1,0 +1,40 @@
+"""``repro.lint`` — static enforcement of the repo's invariants.
+
+The runtime test suites prove the nine determinism guarantees hold for
+the code as it is; this package rejects code that *couldn't* uphold
+them, at CI time, before a golden pin or spec hash ever moves.  Rules
+are small AST visitors registered by ``RPLxxx`` code (``rules.RULES``),
+findings carry file/line locations, and the two escape hatches —
+inline ``# repro-lint: disable=RPLxxx`` comments and the scoped
+allowlist — both leave a written justification.  See
+``docs/linting.md`` for the rule catalog.
+"""
+
+from .config import (
+    DEFAULT_ALLOWLIST,
+    DEFAULT_CONFIG,
+    AllowEntry,
+    LintConfig,
+    scope_matches,
+    suppressions_for,
+)
+from .diagnostics import LINT_SCHEMA_VERSION, Finding, LintReport
+from .rules import RULES, LintRule, RawFinding
+from .runner import lint_paths, lint_source
+
+__all__ = [
+    "AllowEntry",
+    "DEFAULT_ALLOWLIST",
+    "DEFAULT_CONFIG",
+    "Finding",
+    "LINT_SCHEMA_VERSION",
+    "LintConfig",
+    "LintReport",
+    "LintRule",
+    "RULES",
+    "RawFinding",
+    "lint_paths",
+    "lint_source",
+    "scope_matches",
+    "suppressions_for",
+]

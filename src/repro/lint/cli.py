@@ -1,0 +1,48 @@
+"""``python -m repro lint`` — the CLI face of the invariant linter.
+
+Exit codes: 0 clean, 1 findings, 2 usage/parse errors (the standard
+``ValidationError`` path in ``repro.__main__``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List
+
+from .config import DEFAULT_CONFIG
+from .diagnostics import LintReport
+from .rules import RULES
+from .runner import lint_paths
+
+__all__ = ["run_lint", "default_lint_root"]
+
+
+def default_lint_root() -> Path:
+    """The installed ``repro`` package directory — what ``repro lint``
+    checks when no paths are given."""
+    return Path(__file__).resolve().parents[1]
+
+
+def _print_rules() -> None:
+    for code in sorted(RULES):
+        rule = RULES[code]
+        print(f"{code}  {rule.name}")
+        print(f"        {rule.summary}")
+
+
+def run_lint(args) -> int:
+    if getattr(args, "list_rules", False):
+        _print_rules()
+        return 0
+    paths: List[Path] = [Path(p) for p in args.paths] or [default_lint_root()]
+    root = default_lint_root() if not args.paths else None
+    report: LintReport = lint_paths(paths, root=root, config=DEFAULT_CONFIG)
+    if getattr(args, "json", False):
+        print(report.to_json())
+    else:
+        for finding in report.findings:
+            print(finding.render())
+        for finding in report.allowed:
+            print(f"{finding.render()} [allowlisted: {finding.justification}]")
+        print(report.summary())
+    return 0 if report.clean else 1

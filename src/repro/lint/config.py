@@ -1,0 +1,120 @@
+"""Suppression comments and the scoped allowlist.
+
+Two mechanisms discharge a finding without weakening the rule for
+everyone else, and both leave a written trace:
+
+**Inline suppression** — a ``# repro-lint: disable=RPL003`` comment on
+the offending line (multiple codes comma-separated).  Scoped to exactly
+that line; the surrounding code should say *why* in a neighboring
+comment.
+
+**Scoped allowlist** — an :class:`AllowEntry` declaring that one rule
+code is expected in one path scope, with a mandatory justification.
+This is for structural exceptions (a whole module whose job is the
+exception — e.g. wall-clock access stamps in the store backends), where
+per-line suppressions would just be noise.  The shipped default
+(:data:`DEFAULT_ALLOWLIST`) is the complete set of declared exceptions
+for the ``repro`` tree; every entry says what invariant makes the
+exception safe.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+__all__ = [
+    "AllowEntry",
+    "LintConfig",
+    "DEFAULT_ALLOWLIST",
+    "DEFAULT_CONFIG",
+    "suppressions_for",
+    "scope_matches",
+]
+
+#: ``# repro-lint: disable=RPL001`` or ``disable=RPL001,RPL007``.
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)")
+
+
+def suppressions_for(source: str) -> Dict[int, Set[str]]:
+    """Map of 1-based line number -> rule codes suppressed on that line."""
+    out: Dict[int, Set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match:
+            out[lineno] = {code.strip() for code in match.group(1).split(",")}
+    return out
+
+
+def scope_matches(scope: str, relpath: str) -> bool:
+    """True when *relpath* (posix, relative to the lint root) falls in
+    *scope*.
+
+    A scope ending in ``/`` is a directory: it matches any file under a
+    directory of that name anywhere in the path (``store/`` matches
+    ``store/gc.py`` and ``src/repro/store/gc.py`` alike, so fixtures
+    and installed trees resolve the same way).  Any other scope is a
+    file path suffix (``telemetry/manifest.py``, or a bare filename).
+    """
+    rel = "/" + relpath.strip("/")
+    if scope.endswith("/"):
+        return f"/{scope.strip('/')}/" in rel
+    return rel.endswith("/" + scope.strip("/"))
+
+
+@dataclass(frozen=True)
+class AllowEntry:
+    """One declared exception: *code* is expected within *scope*."""
+
+    code: str
+    scope: str
+    justification: str
+
+    def matches(self, code: str, relpath: str) -> bool:
+        return code == self.code and scope_matches(self.scope, relpath)
+
+
+#: The repo's declared exceptions.  Each must say why the rule's
+#: invariant still holds; an entry without a defensible justification
+#: is a bug, not a convenience.
+DEFAULT_ALLOWLIST: Tuple[AllowEntry, ...] = (
+    AllowEntry(
+        "RPL003",
+        "store/backends.py",
+        "wall-clock access stamps (LRU eviction metadata) and "
+        "pid+uuid staging-file names are operational state that never "
+        "reaches payload bytes, so backend-invariance (guarantee #7) "
+        "is untouched",
+    ),
+    AllowEntry(
+        "RPL003",
+        "store/gc.py",
+        "the orphan-sweep grace window defaults to the real clock; "
+        "callers and tests inject the documented now= seam, and GC "
+        "only deletes cache entries that regenerate byte-identically",
+    ),
+    AllowEntry(
+        "RPL003",
+        "telemetry/manifest.py",
+        "created_unix is a provenance stamp in the trace manifest, "
+        "outside every determinism guarantee (telemetry never feeds "
+        "back into results, guarantee #8); tests inject the now= seam",
+    ),
+)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Which declared exceptions apply to this lint pass."""
+
+    allowlist: Tuple[AllowEntry, ...] = field(default=DEFAULT_ALLOWLIST)
+
+    def allow_entry_for(self, code: str, relpath: str) -> Optional[AllowEntry]:
+        for entry in self.allowlist:
+            if entry.matches(code, relpath):
+                return entry
+        return None
+
+
+DEFAULT_CONFIG = LintConfig()

@@ -1,0 +1,120 @@
+"""Findings, reports, and their text/JSON renderings.
+
+A :class:`Finding` is one rule violation at one source location; a
+:class:`LintReport` is the outcome of one lint pass — the findings that
+survived, plus the ones discharged by inline suppressions or allowlist
+entries (kept visible so "clean" never silently means "ignored").
+
+The JSON rendering is versioned (:data:`LINT_SCHEMA_VERSION`) and
+round-trips through :meth:`LintReport.from_json`, so CI gates and
+editor integrations can consume ``python -m repro lint --json`` without
+parsing the human-readable text.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["LINT_SCHEMA_VERSION", "Finding", "LintReport"]
+
+#: Bump when the ``--json`` output shape changes.
+LINT_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``path`` is the posix-style path relative to the lint root (the
+    package directory for the default invocation), so findings are
+    stable across machines and checkouts.  ``justification`` is set
+    only on allowlisted findings — it carries the allowlist entry's
+    declared reason.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    justification: Optional[str] = None
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def as_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+        if self.justification is not None:
+            out["justification"] = self.justification
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Finding":
+        return cls(
+            path=str(data["path"]),
+            line=int(data["line"]),
+            col=int(data["col"]),
+            code=str(data["code"]),
+            message=str(data["message"]),
+            justification=data.get("justification"),
+        )
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """What one lint pass found (and what it deliberately let pass)."""
+
+    findings: Tuple[Finding, ...]
+    suppressed: Tuple[Finding, ...]
+    allowed: Tuple[Finding, ...]
+    files_scanned: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def summary(self) -> str:
+        return (
+            f"repro-lint: {len(self.findings)} finding(s) in "
+            f"{self.files_scanned} file(s) "
+            f"({len(self.suppressed)} suppressed, {len(self.allowed)} allowlisted)"
+        )
+
+    def to_json(self) -> str:
+        payload = {
+            "schema": LINT_SCHEMA_VERSION,
+            "files_scanned": self.files_scanned,
+            "findings": [f.as_dict() for f in self.findings],
+            "suppressed": [f.as_dict() for f in self.suppressed],
+            "allowed": [f.as_dict() for f in self.allowed],
+            "counts": {
+                "findings": len(self.findings),
+                "suppressed": len(self.suppressed),
+                "allowed": len(self.allowed),
+            },
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "LintReport":
+        data = json.loads(text)
+        schema = data.get("schema")
+        if schema != LINT_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported lint report schema {schema!r} "
+                f"(this reader understands {LINT_SCHEMA_VERSION})"
+            )
+        return cls(
+            findings=tuple(Finding.from_dict(d) for d in data["findings"]),
+            suppressed=tuple(Finding.from_dict(d) for d in data["suppressed"]),
+            allowed=tuple(Finding.from_dict(d) for d in data["allowed"]),
+            files_scanned=int(data["files_scanned"]),
+        )

@@ -1,0 +1,136 @@
+"""Run the rule set over sources and fold in suppressions/allowlist.
+
+:func:`lint_source` checks one in-memory module (the unit the fixture
+tests drive); :func:`lint_paths` walks real files and directories in
+sorted order — the linter is itself held to the determinism bar it
+enforces, so two runs over the same tree produce byte-identical
+reports.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import ValidationError
+from .config import DEFAULT_CONFIG, LintConfig, suppressions_for
+from .diagnostics import Finding, LintReport
+from .rules import RULES
+
+__all__ = ["lint_source", "lint_paths"]
+
+
+def _check_one(
+    source: str, relpath: str, config: LintConfig
+) -> Tuple[List[Finding], List[Finding], List[Finding]]:
+    """(findings, suppressed, allowed) for one module's source."""
+    import ast
+
+    try:
+        tree = ast.parse(source, filename=relpath)
+    except SyntaxError as exc:
+        raise ValidationError(
+            f"cannot lint {relpath}: {exc.msg} (line {exc.lineno})"
+        ) from exc
+    suppressions = suppressions_for(source)
+    findings: List[Finding] = []
+    suppressed: List[Finding] = []
+    allowed: List[Finding] = []
+    for code in sorted(RULES):
+        rule = RULES[code]
+        if not rule.applies_to(relpath):
+            continue
+        for raw in rule.check(tree, source, relpath):
+            finding = Finding(
+                path=relpath,
+                line=raw.line,
+                col=raw.col,
+                code=code,
+                message=raw.message,
+            )
+            if code in suppressions.get(raw.line, ()):
+                suppressed.append(finding)
+                continue
+            entry = config.allow_entry_for(code, relpath)
+            if entry is not None:
+                allowed.append(
+                    Finding(
+                        path=relpath,
+                        line=raw.line,
+                        col=raw.col,
+                        code=code,
+                        message=raw.message,
+                        justification=entry.justification,
+                    )
+                )
+                continue
+            findings.append(finding)
+    return findings, suppressed, allowed
+
+
+def lint_source(
+    source: str,
+    relpath: str = "<string>",
+    config: Optional[LintConfig] = None,
+) -> LintReport:
+    """Lint one module given as a string; *relpath* decides rule scope."""
+    config = DEFAULT_CONFIG if config is None else config
+    findings, suppressed, allowed = _check_one(source, relpath, config)
+    return LintReport(
+        findings=tuple(sorted(findings)),
+        suppressed=tuple(sorted(suppressed)),
+        allowed=tuple(sorted(allowed)),
+        files_scanned=1,
+    )
+
+
+def _iter_python_files(paths: Sequence[Path]) -> Iterable[Path]:
+    for path in paths:
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if "__pycache__" not in candidate.parts:
+                    yield candidate
+        elif path.suffix == ".py":
+            yield path
+        else:
+            raise ValidationError(f"not a Python file or directory: {path}")
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    root: Optional[Path] = None,
+    config: Optional[LintConfig] = None,
+) -> LintReport:
+    """Lint files/directories; *root* anchors the relative paths in
+    findings (defaults to the first path's directory, or the path
+    itself for directories)."""
+    config = DEFAULT_CONFIG if config is None else config
+    resolved = [Path(p).resolve() for p in paths]
+    for path in resolved:
+        if not path.exists():
+            raise ValidationError(f"no such file or directory: {path}")
+    if root is None:
+        root = resolved[0] if resolved[0].is_dir() else resolved[0].parent
+    root = Path(root).resolve()
+
+    findings: List[Finding] = []
+    suppressed: List[Finding] = []
+    allowed: List[Finding] = []
+    files_scanned = 0
+    for file_path in _iter_python_files(resolved):
+        try:
+            relpath = file_path.relative_to(root).as_posix()
+        except ValueError:
+            relpath = file_path.as_posix()
+        source = file_path.read_text(encoding="utf-8")
+        got, sup, alw = _check_one(source, relpath, config)
+        findings.extend(got)
+        suppressed.extend(sup)
+        allowed.extend(alw)
+        files_scanned += 1
+    return LintReport(
+        findings=tuple(sorted(findings)),
+        suppressed=tuple(sorted(suppressed)),
+        allowed=tuple(sorted(allowed)),
+        files_scanned=files_scanned,
+    )

@@ -59,8 +59,20 @@ __all__ = [
     "RangingSpec",
     "SolverSpec",
     "ScenarioSpec",
+    "HASH_EXCLUDED_FIELDS",
     "expand_grid",
 ]
+
+#: Every field :meth:`ScenarioSpec.canonical` strips before hashing, as
+#: dotted paths into the nested payload.  This is a cross-module
+#: contract: the content-addressed store, shard keys, and every golden
+#: pin assume exactly these fields are cosmetic.  The lint rule RPL006
+#: cross-checks this registry against the pops in ``canonical()`` so
+#: neither side can drift alone.
+HASH_EXCLUDED_FIELDS = (
+    "scenario_id",
+    "solver.array_backend",
+)
 
 #: Deployment generators a :class:`DeploymentSpec` may name.
 DEPLOYMENT_KINDS = ("uniform", "grid", "paper-grid", "town", "parking-lot")

@@ -14,20 +14,25 @@ import os
 import platform
 import socket
 import time
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 __all__ = ["base_manifest"]
 
 
-def base_manifest() -> Dict[str, Any]:
-    """Environment fields every manifest carries."""
+def base_manifest(now: Optional[float] = None) -> Dict[str, Any]:
+    """Environment fields every manifest carries.
+
+    ``now`` injects the ``created_unix`` stamp (unix seconds) so tests
+    are not time-dependent — the same seam as ``store/gc.py``; the
+    default is the real clock.
+    """
     import numpy
 
     from .. import __version__
     from ..engine.backend import default_backend_name
 
     return {
-        "created_unix": time.time(),
+        "created_unix": time.time() if now is None else float(now),
         "host": socket.gethostname(),
         "platform": platform.platform(),
         "python": platform.python_version(),

@@ -276,12 +276,16 @@ class TraceRecorder:
 
     # -- serialization -------------------------------------------------
 
-    def records(self) -> List[Dict[str, Any]]:
-        """All trace records, manifest first (see the schema module)."""
+    def records(self, now: Optional[float] = None) -> List[Dict[str, Any]]:
+        """All trace records, manifest first (see the schema module).
+
+        ``now`` threads through to :func:`base_manifest` so tests can
+        pin the manifest's ``created_unix`` stamp.
+        """
         from .manifest import base_manifest
         from .schema import TRACE_SCHEMA_VERSION
 
-        manifest = base_manifest()
+        manifest = base_manifest(now=now)
         manifest.update(self.manifest)
         manifest["type"] = "manifest"
         manifest["schema"] = TRACE_SCHEMA_VERSION
@@ -311,10 +315,10 @@ class TraceRecorder:
         out.extend(sorted(self.events, key=lambda e: e["seq"]))
         return out
 
-    def write(self, path) -> int:
+    def write(self, path, now: Optional[float] = None) -> int:
         """Write the JSONL trace to *path*; returns the record count."""
         from .schema import write_trace
 
-        records = self.records()
+        records = self.records(now=now)
         write_trace(path, records)
         return len(records)

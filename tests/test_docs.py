@@ -16,6 +16,7 @@ DOC_FILES = [
     REPO_ROOT / "README.md",
     REPO_ROOT / "docs" / "architecture.md",
     REPO_ROOT / "docs" / "observability.md",
+    REPO_ROOT / "docs" / "linting.md",
 ]
 
 
@@ -45,6 +46,29 @@ def test_docs_mention_the_verify_command_and_store_contract():
     for guarantee in ("Bit-identical store hits", "Worker-count independence",
                       "Early-stop prefix property", "Telemetry non-interference"):
         assert guarantee in architecture
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_doc_rule_codes_exist_in_registry(doc):
+    checker = _load_checker()
+    problems = checker.unknown_rule_codes(doc)
+    assert not problems, "; ".join(reason for _, reason in problems)
+
+
+def test_phantom_rule_code_is_caught(tmp_path):
+    checker = _load_checker()
+    doc = tmp_path / "doc.md"
+    doc.write_text("RPL001 is real but RPL999 is not.\n", encoding="utf-8")
+    problems = checker.unknown_rule_codes(doc)
+    assert [code for code, _ in problems] == ["RPL999"]
+
+
+def test_docs_catalog_covers_every_registered_rule():
+    from repro.lint import RULES
+
+    catalog = (REPO_ROOT / "docs" / "linting.md").read_text(encoding="utf-8")
+    for code in RULES:
+        assert code in catalog, f"docs/linting.md is missing {code}"
 
 
 def test_cli_list_smoke():

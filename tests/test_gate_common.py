@@ -1,0 +1,97 @@
+"""`tools/_gate_common.py`: the shared plumbing all CI gates rest on.
+
+The four gate scripts assume this helper builds the right CLI command,
+fails loudly with the command's output, and finds the canonical
+campaign entry; none of that was covered before, so a regression here
+would surface only as a confusing CI-gate failure.
+"""
+
+import importlib.util
+import os
+import sys
+import types
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _load_gate_common():
+    spec = importlib.util.spec_from_file_location(
+        "_gate_common", REPO_ROOT / "tools" / "_gate_common.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture()
+def gate(monkeypatch):
+    monkeypatch.setenv("PYTHONPATH", str(REPO_ROOT / "src"))
+    return _load_gate_common()
+
+
+class TestCommandConstruction:
+    def _capture(self, gate, monkeypatch):
+        seen = {}
+
+        def fake_run(command, capture_output, text):
+            seen["command"] = command
+            return types.SimpleNamespace(returncode=0, stdout="out", stderr="")
+
+        monkeypatch.setattr(gate.subprocess, "run", fake_run)
+        return seen
+
+    def test_builds_python_dash_m_repro_command(self, gate, monkeypatch):
+        seen = self._capture(gate, monkeypatch)
+        out = gate.run_cli_output(["lint", "--json"])
+        assert out == "out"
+        assert seen["command"] == [sys.executable, "-m", "repro", "lint", "--json"]
+
+    def test_store_argument_appends_store_flag(self, gate, monkeypatch, tmp_path):
+        seen = self._capture(gate, monkeypatch)
+        gate.run_cli_output(["store", "stats"], store=tmp_path)
+        assert seen["command"][-2:] == ["--store", str(tmp_path)]
+
+    def test_run_cli_is_the_discard_output_wrapper(self, gate, monkeypatch):
+        seen = self._capture(gate, monkeypatch)
+        assert gate.run_cli(["list"]) is None
+        assert seen["command"] == [sys.executable, "-m", "repro", "list"]
+
+
+class TestRealInvocation:
+    def test_success_returns_stdout(self, gate):
+        out = gate.run_cli_output(["lint", "--list-rules"])
+        assert "RPL001" in out
+        assert "RPL008" in out
+
+    def test_failure_exits_with_command_and_output(self, gate):
+        with pytest.raises(SystemExit) as excinfo:
+            gate.run_cli_output(["run", "definitely-not-a-registered-id"])
+        message = str(excinfo.value)
+        assert "command failed (2)" in message
+        assert "definitely-not-a-registered-id" in message
+
+
+class TestEntryBytes:
+    def test_round_trips_the_canonical_campaign_entry(self, gate, tmp_path):
+        from repro.scenarios import get_scenario, scenario_run_key
+        from repro.store import ResultStore
+
+        store = ResultStore(tmp_path)
+        key = store.key_for(
+            scenario_run_key(
+                get_scenario("uniform-multilateration"), master_seed=3, n_trials=4
+            )
+        )
+        payload = {"records": [], "master_seed": 3}
+        store.put(key, payload)
+        data = gate.entry_bytes(tmp_path, "uniform-multilateration", seed=3, trials=4)
+        assert data == store.get_bytes(key)
+
+    def test_missing_entry_exits_with_scenario_id(self, gate, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            gate.entry_bytes(tmp_path, "uniform-multilateration", seed=3, trials=4)
+        assert "no canonical campaign entry" in str(excinfo.value)
+        assert "uniform-multilateration" in str(excinfo.value)

@@ -482,3 +482,45 @@ class TestNanTrialAccounting:
         records = (TrialRecord(index=0, metrics={"x": 1.0}),)
         _print_nan_warning(CampaignResult(master_seed=0, records=records))
         assert capsys.readouterr().out == ""
+
+
+class TestManifestNowSeam:
+    """``base_manifest(now=)`` pins ``created_unix`` so manifest-writing
+    tests are not time-dependent (the ``store/gc.py`` seam idiom)."""
+
+    def test_base_manifest_accepts_injected_now(self):
+        from repro.telemetry.manifest import base_manifest
+
+        assert base_manifest(now=123.5)["created_unix"] == 123.5
+
+    def test_base_manifest_defaults_to_the_real_clock(self):
+        import time
+
+        from repro.telemetry.manifest import base_manifest
+
+        before = time.time()
+        stamp = base_manifest()["created_unix"]
+        after = time.time()
+        assert before <= stamp <= after
+
+    def test_recorder_records_threads_now_to_manifest(self):
+        recorder = TraceRecorder()
+        recorder.count("demo", 1)
+        manifest = recorder.records(now=42.0)[0]
+        assert manifest["type"] == "manifest"
+        assert manifest["created_unix"] == 42.0
+
+    def test_recorder_write_threads_now_to_manifest(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        recorder = TraceRecorder()
+        recorder.count("demo", 1)
+        recorder.write(path, now=7.25)
+        manifest = read_trace(path)[0]
+        assert manifest["created_unix"] == 7.25
+
+    def test_two_records_calls_with_same_now_agree_on_created_unix(self):
+        recorder = TraceRecorder()
+        recorder.count("demo", 1)
+        first = recorder.records(now=5.0)[0]["created_unix"]
+        second = recorder.records(now=5.0)[0]["created_unix"]
+        assert first == second == 5.0

@@ -6,7 +6,10 @@ Usage: python tools/check_docs.py README.md docs/architecture.md ...
 Scans each markdown file for ``[text](target)`` links, skips external
 targets (http/https/mailto) and pure anchors, strips ``#fragment``
 suffixes from the rest, and verifies the target exists relative to the
-linking file.  Exits non-zero listing every broken link.  Used by the
+linking file.  Also verifies that every ``RPLxxx`` lint-rule code the
+docs mention exists in the ``repro.lint`` rule registry, so the rule
+catalog in ``docs/linting.md`` cannot drift from the code.  Exits
+non-zero listing every broken link or phantom rule code.  Used by the
 CI docs job and ``tests/test_docs.py``.
 """
 
@@ -18,6 +21,32 @@ from pathlib import Path
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 EXTERNAL = ("http://", "https://", "mailto:")
+RULE_CODE_RE = re.compile(r"\bRPL\d{3}\b")
+
+
+def _rule_registry() -> dict:
+    """The live ``repro.lint`` registry (bootstrapping ``src/`` onto
+    the path for direct invocations without ``PYTHONPATH=src``)."""
+    try:
+        from repro.lint import RULES
+    except ImportError:
+        sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+        from repro.lint import RULES
+    return RULES
+
+
+def unknown_rule_codes(path: Path) -> list:
+    """(code, reason) pairs for RPL codes in *path* missing from the
+    rule registry."""
+    registry = _rule_registry()
+    problems = []
+    text = path.read_text(encoding="utf-8")
+    for code in sorted(set(RULE_CODE_RE.findall(text))):
+        if code not in registry:
+            problems.append(
+                (code, f"{path}: mentions {code}, not in the repro.lint registry")
+            )
+    return problems
 
 
 def broken_links(path: Path) -> list:
@@ -46,10 +75,14 @@ def main(argv) -> int:
             failures.append((name, f"{name}: file does not exist"))
             continue
         failures.extend(broken_links(path))
+        failures.extend(unknown_rule_codes(path))
     for _, reason in failures:
-        print(f"BROKEN LINK: {reason}", file=sys.stderr)
+        print(f"BROKEN: {reason}", file=sys.stderr)
     if not failures:
-        print(f"ok: {len(argv)} file(s), all relative links resolve")
+        print(
+            f"ok: {len(argv)} file(s), all relative links resolve and "
+            "all RPL codes exist"
+        )
     return 1 if failures else 0
 
 

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""CI gate: the shipped tree must pass ``python -m repro lint``.
+
+Usage: PYTHONPATH=src python tools/check_lint.py
+
+Drives the real CLI (``lint --json``), parses the versioned JSON report
+through the same :class:`repro.lint.LintReport` reader downstream
+tooling uses — so the gate also fails if the CLI ever emits a report
+the reader rejects — and fails listing every finding.  Suppressed and
+allowlisted discharges are printed for the CI log: "clean" must stay
+auditable, never silent.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from _gate_common import run_cli_output  # noqa: E402
+
+try:
+    from repro.lint import LintReport
+except ImportError:  # direct invocation without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+    from repro.lint import LintReport
+
+
+def main() -> int:
+    command = [sys.executable, "-m", "repro", "lint", "--json"]
+    result = subprocess.run(command, capture_output=True, text=True)
+    if result.returncode not in (0, 1):
+        sys.exit(
+            f"lint command failed ({result.returncode}): {' '.join(command)}\n"
+            f"{result.stdout}{result.stderr}"
+        )
+    try:
+        report = LintReport.from_json(result.stdout)
+    except (ValueError, KeyError) as exc:
+        sys.exit(f"lint --json output did not parse as a lint report: {exc}")
+    for finding in report.findings:
+        print(f"FINDING: {finding.render()}", file=sys.stderr)
+    for finding in report.suppressed:
+        print(f"suppressed: {finding.render()}")
+    for finding in report.allowed:
+        print(f"allowlisted: {finding.render()} [{finding.justification}]")
+    if report.findings:
+        print(report.summary(), file=sys.stderr)
+        return 1
+    # The registry listing must also run cleanly (the docs reference it).
+    rules_listing = run_cli_output(["lint", "--list-rules"])
+    n_rules = sum(1 for line in rules_listing.splitlines() if line[:1] == "R")
+    print(
+        f"ok: {report.summary()} across {n_rules} rules "
+        f"({len(report.suppressed)} suppressed, {len(report.allowed)} allowlisted "
+        "discharges audited above)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
