@@ -5,6 +5,12 @@ it runs the corresponding experiment driver under pytest-benchmark,
 prints the paper-vs-measured rows (visible with ``pytest benchmarks/
 --benchmark-only -s`` and in the captured output on failure), and
 asserts the experiment's qualitative shape checks.
+
+Setting ``REPRO_BENCH_JSON=/path/to/record.json`` additionally writes
+the session's pytest-benchmark timings as a versioned bench record —
+the same schema ``repro bench run`` emits (:mod:`repro.perf.record` is
+the one writer), so ``repro bench check``/``history`` work on either
+producer's output.
 """
 
 import os
@@ -26,6 +32,47 @@ def _isolated_result_store(tmp_path_factory):
         os.environ.pop("REPRO_STORE_DIR", None)
     else:
         os.environ["REPRO_STORE_DIR"] = saved
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Opt-in bench-record export (``REPRO_BENCH_JSON=PATH``).
+
+    Collects every pytest-benchmark measurement of the session into one
+    ``kind="pytest-benchmark"`` bench record via the shared schema
+    module.  Stays silent when the env var is unset, when pytest ran
+    with ``--benchmark-disable``, or when no benchmark produced data.
+    """
+    out_path = os.environ.get("REPRO_BENCH_JSON")
+    if not out_path:
+        return
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None:
+        return
+
+    from repro.perf.record import make_bench_record, make_workload_result, write_bench_record
+
+    results = []
+    for meta in bench_session.benchmarks:
+        timings = list(meta.stats.data)
+        if not timings or meta.has_error:
+            continue
+        results.append(
+            make_workload_result(
+                workload_id=meta.fullname,
+                kind="pytest-benchmark",
+                timings_s=timings,
+                metrics={"rounds": float(meta.stats.rounds)},
+            )
+        )
+    if not results:
+        return
+    record = make_bench_record(
+        "pytest-benchmarks",
+        results,
+        manifest_extra={"pytest_exitstatus": int(exitstatus)},
+    )
+    write_bench_record(out_path, record)
+    print(f"\nwrote bench record ({len(results)} workloads) to {out_path}")
 
 
 @pytest.fixture

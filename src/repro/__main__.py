@@ -36,8 +36,24 @@ Subcommands
     Inspect telemetry traces written by ``run --trace PATH`` (or the
     ``REPRO_TRACE`` environment variable): ``summarize`` renders one
     trace's span tree, counters, and scheduler decisions; ``compare``
-    diffs two traces' phase times and counters.  Tracing never changes
-    results — see determinism guarantee #8 in ``docs/architecture.md``.
+    diffs two traces' phase times and counters; ``export`` converts a
+    trace to Chrome trace-event JSON (loadable in Perfetto /
+    ``chrome://tracing`` / speedscope); ``critical-path`` prints the
+    slowest root-to-leaf span chain with per-hop self times and CPU
+    utilization.  All four tolerate a crashed-writer trace whose final
+    line is truncated (the readable records are reported, with a
+    warning).  Tracing never changes results — see determinism
+    guarantee #8 in ``docs/architecture.md``.
+``bench <subcommand>``
+    Machine-readable performance tracking (``repro.perf``): ``run``
+    executes a registered workload suite store-isolated, takes
+    median-of-k timings plus key telemetry counters, and writes a
+    versioned ``BENCH_<label>.json`` record embedding the run manifest;
+    ``history`` appends records to / lists a perf-history directory;
+    ``check`` compares a record against a baseline with noise-aware
+    relative thresholds and exits 0 (pass) / 1 (regression) /
+    2 (incomparable) for CI.  Benchmarking never perturbs results —
+    determinism guarantee #10.
 
 Examples::
 
@@ -50,6 +66,11 @@ Examples::
     python -m repro trace summarize t.jsonl
     python -m repro lint --json
     python -m repro trace compare baseline.jsonl current.jsonl
+    python -m repro trace export t.jsonl -o t.chrome.json
+    python -m repro trace critical-path t.jsonl
+    python -m repro bench run --suite smoke --repeats 3
+    python -m repro bench history --add BENCH_smoke.json --dir perf-history
+    python -m repro bench check BENCH_smoke.json --baseline old/BENCH_smoke.json
     python -m repro merge town-multilateration --shards 3
     python -m repro store stats
     python -m repro store gc --max-bytes 256M
@@ -204,6 +225,107 @@ def _build_parser():
     )
     compare.add_argument("a", metavar="A", help="baseline trace")
     compare.add_argument("b", metavar="B", help="comparison trace")
+    export = trace_sub.add_parser(
+        "export",
+        help="convert a trace to Chrome trace-event JSON "
+        "(Perfetto / chrome://tracing / speedscope)",
+    )
+    export.add_argument("path", metavar="TRACE", help="JSONL trace file")
+    export.add_argument(
+        "--format",
+        default="chrome",
+        choices=("chrome",),
+        help="output format (only 'chrome' today)",
+    )
+    export.add_argument(
+        "--out",
+        "-o",
+        default=None,
+        metavar="PATH",
+        help="output file (default: TRACE with a .chrome.json suffix)",
+    )
+    crit = trace_sub.add_parser(
+        "critical-path",
+        help="slowest root-to-leaf span chain: wall/self time, CPU utilization",
+    )
+    crit.add_argument("path", metavar="TRACE", help="JSONL trace file")
+
+    bench = sub.add_parser(
+        "bench",
+        help="machine-readable benchmarks: run suites, track history, "
+        "gate regressions (run/history/check)",
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_run = bench_sub.add_parser(
+        "run",
+        help="time a registered suite (store-isolated, median-of-k) and "
+        "write a versioned BENCH_<label>.json record",
+    )
+    bench_run.add_argument(
+        "--suite", default="smoke", help="registered suite name (default: smoke)"
+    )
+    bench_run.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timing repeats per workload (default: 3; median is reported)",
+    )
+    bench_run.add_argument(
+        "--label",
+        default=None,
+        help="record label (default: the suite name; names the output file)",
+    )
+    bench_run.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="record path (default: BENCH_<label>.json in the cwd)",
+    )
+    bench_run.add_argument(
+        "--history",
+        default=None,
+        metavar="DIR",
+        help="also append the record to this perf-history directory",
+    )
+    bench_history = bench_sub.add_parser(
+        "history", help="append to / list a directory of bench records"
+    )
+    bench_history.add_argument(
+        "--dir",
+        default="bench-history",
+        metavar="DIR",
+        help="history directory (default: ./bench-history)",
+    )
+    bench_history.add_argument(
+        "--add",
+        default=None,
+        metavar="RECORD",
+        help="append this bench record before listing (idempotent)",
+    )
+    bench_check = bench_sub.add_parser(
+        "check",
+        help="compare a bench record against a baseline; exit 0 pass / "
+        "1 regression / 2 incomparable",
+    )
+    bench_check.add_argument(
+        "current", metavar="CURRENT", help="bench record to check"
+    )
+    bench_check.add_argument(
+        "--baseline", required=True, metavar="PATH", help="baseline bench record"
+    )
+    bench_check.add_argument(
+        "--rel-tol",
+        type=float,
+        default=None,
+        help="allowed relative slowdown before noise widening (default: 0.25)",
+    )
+    bench_check.add_argument(
+        "--noise-mult",
+        type=float,
+        default=None,
+        help="noise widening: tolerance grows to this many measured "
+        "spreads (default: 3.0)",
+    )
 
     merge = sub.add_parser(
         "merge",
@@ -737,18 +859,122 @@ def _cmd_run_inner(args, run_parser) -> int:
     return 2
 
 
+def _read_trace_reporting(path):
+    """Lenient trace read for the inspection commands: a crashed-writer
+    truncated tail is dropped with a stderr warning instead of failing
+    the whole file (strict reading stays the default everywhere a trace
+    is consumed programmatically)."""
+    manifest, records, warnings = telemetry.read_trace_lenient(path)
+    for warning in warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    return manifest, records
+
+
 def _cmd_trace(args) -> int:
     from .telemetry.report import compare_traces, summarize_trace
 
     if args.trace_command == "summarize":
-        manifest, records = telemetry.read_trace(args.path)
+        manifest, records = _read_trace_reporting(args.path)
         print(f"trace: {args.path} ({1 + len(records)} records)")
         print(summarize_trace(manifest, records))
         return 0
-    trace_a = telemetry.read_trace(args.a)
-    trace_b = telemetry.read_trace(args.b)
+    if args.trace_command == "export":
+        return _cmd_trace_export(args)
+    if args.trace_command == "critical-path":
+        from .perf.analytics import critical_path, render_critical_path
+
+        _, records = _read_trace_reporting(args.path)
+        print(f"trace: {args.path}")
+        print(render_critical_path(critical_path(records)))
+        return 0
+    trace_a = _read_trace_reporting(args.a)
+    trace_b = _read_trace_reporting(args.b)
     print(compare_traces(trace_a, trace_b, label_a=args.a, label_b=args.b))
     return 0
+
+
+def _cmd_trace_export(args) -> int:
+    import json
+
+    from .perf.analytics import chrome_trace
+
+    manifest, records = _read_trace_reporting(args.path)
+    converted = chrome_trace(manifest, records)
+    out = args.out
+    if out is None:
+        base = args.path[: -len(".jsonl")] if args.path.endswith(".jsonl") else args.path
+        out = f"{base}.chrome.json"
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(converted, fh, sort_keys=True)
+        fh.write("\n")
+    print(
+        f"export: {len(converted['traceEvents'])} trace events -> {out} "
+        f"(open in Perfetto, chrome://tracing, or speedscope)"
+    )
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    if args.bench_command == "run":
+        return _cmd_bench_run(args)
+    if args.bench_command == "history":
+        return _cmd_bench_history(args)
+    return _cmd_bench_check(args)
+
+
+def _cmd_bench_run(args) -> int:
+    from .perf import append_record, bench_filename, run_suite, write_bench_record
+
+    if args.repeats < 1:
+        print("--repeats must be >= 1", file=sys.stderr)
+        return 2
+    record = run_suite(args.suite, repeats=args.repeats, label=args.label)
+    out = args.out or bench_filename(record["label"])
+    write_bench_record(out, record)
+    width = max(len(result["id"]) for result in record["results"])
+    print(f"bench suite {args.suite!r} (median of {args.repeats}):")
+    for result in record["results"]:
+        throughput = result["metrics"].get("trials_per_s")
+        suffix = f"  {throughput:>8.1f} trials/s" if throughput else ""
+        print(
+            f"  {result['id']:<{width}}  median {result['median_s']:>9.4f} s"
+            f"  min {result['min_s']:>9.4f} s{suffix}"
+        )
+    print(f"bench: {len(record['results'])} workloads -> {out}")
+    if args.history is not None:
+        path, appended = append_record(args.history, record)
+        verb = "appended to" if appended else "already present in"
+        print(f"history: {verb} {path}")
+    return 0
+
+
+def _cmd_bench_history(args) -> int:
+    from .perf import append_record, list_records, read_bench_record
+    from .perf.history import render_history
+
+    if args.add is not None:
+        record = read_bench_record(args.add)
+        path, appended = append_record(args.dir, record)
+        verb = "appended" if appended else "already present:"
+        print(f"history: {verb} {path.name}")
+    print(render_history(list_records(args.dir)))
+    return 0
+
+
+def _cmd_bench_check(args) -> int:
+    from .perf import compare_records, read_bench_record
+    from .perf.regression import DEFAULT_NOISE_MULT, DEFAULT_REL_TOL
+
+    baseline = read_bench_record(args.baseline)
+    current = read_bench_record(args.current)
+    comparison = compare_records(
+        baseline,
+        current,
+        rel_tol=DEFAULT_REL_TOL if args.rel_tol is None else args.rel_tol,
+        noise_mult=DEFAULT_NOISE_MULT if args.noise_mult is None else args.noise_mult,
+    )
+    print(comparison.render())
+    return comparison.exit_code
 
 
 def _run_scenario_shard(args, spec, store: Optional[ResultStore]) -> int:
@@ -858,6 +1084,8 @@ def main(argv=None) -> int:
             return _cmd_list(args)
         if args.command == "trace":
             return _cmd_trace(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
         if args.command == "merge":
             return _cmd_merge(args)
         if args.command == "lint":

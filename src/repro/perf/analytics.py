@@ -1,0 +1,260 @@
+"""Trace analytics: Chrome trace-event export and critical-path extraction.
+
+Works on parsed telemetry traces (the output of
+:func:`repro.telemetry.read_trace`).  Span records carry durations and
+a global exit-order ``seq``, not start timestamps (the recorder appends
+each span when it *closes*), so both analyses first rebuild the span
+forest from that post-order stream:
+
+- a span's children are exactly the already-emitted spans whose path
+  extends its own path by one or more segments and that are still
+  unadopted when it closes;
+- roots are whatever remains unadopted at the end.
+
+For the Chrome export, start times are then *synthesized*: roots are
+laid out back to back from t=0, and each span's children are packed
+sequentially from its start (in seq order — which is execution order
+for sibling spans).  The layout is deterministic, preserves every
+duration and the full nesting structure, and loads in any
+``chrome://tracing``-compatible viewer (Perfetto, speedscope); only
+the gaps *between* sibling spans are reconstructions, since the trace
+never recorded wall-clock starts.
+
+The critical path is the root-to-leaf chain that follows the child
+with the largest total wall time at every level, annotated with each
+hop's self time (wall minus direct children) and CPU utilization —
+the "where does the time actually go" answer ``repro trace
+critical-path`` renders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+__all__ = [
+    "SpanNode",
+    "build_span_forest",
+    "chrome_trace",
+    "critical_path",
+    "render_critical_path",
+]
+
+
+@dataclass
+class SpanNode:
+    """One span instance with its adopted children (execution order)."""
+
+    record: Dict[str, Any]
+    children: List["SpanNode"] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.record["name"]
+
+    @property
+    def path(self) -> str:
+        return self.record["path"]
+
+    @property
+    def wall_s(self) -> float:
+        return self.record["wall_s"]
+
+    @property
+    def cpu_s(self) -> float:
+        return self.record["cpu_s"]
+
+    @property
+    def self_wall_s(self) -> float:
+        """Wall time not attributed to any direct child."""
+        return max(0.0, self.wall_s - sum(c.wall_s for c in self.children))
+
+
+def build_span_forest(records: List[Dict[str, Any]]) -> List[SpanNode]:
+    """Rebuild span nesting from the exit-ordered (post-order) stream.
+
+    Spans are processed in ``seq`` order.  Each closing span adopts the
+    pending spans whose path lies strictly under its own; a span whose
+    parent never closes (e.g. a truncated trace) stays a root, so the
+    forest degrades gracefully instead of dropping data.
+    """
+    spans = sorted(
+        (r for r in records if r.get("type") == "span"), key=lambda r: r["seq"]
+    )
+    pending: List[SpanNode] = []
+    for record in spans:
+        node = SpanNode(record)
+        prefix = record["path"] + "/"
+        adopted = [n for n in pending if n.path.startswith(prefix)]
+        if adopted:
+            # Children were appended in exit order; within one parent
+            # that matches execution order for sibling spans.
+            node.children = adopted
+            pending = [n for n in pending if not n.path.startswith(prefix)]
+        pending.append(node)
+    return pending
+
+
+def _layout(
+    node: SpanNode,
+    start_s: float,
+    out: List[Dict[str, Any]],
+    starts: Dict[int, float],
+) -> None:
+    starts[node.record["seq"]] = start_s
+    args = {"cpu_s": node.cpu_s, "path": node.path}
+    args.update(node.record.get("attrs", {}))
+    out.append(
+        {
+            "name": node.name,
+            "cat": "span",
+            "ph": "X",
+            "ts": round(start_s * 1e6, 3),
+            "dur": round(node.wall_s * 1e6, 3),
+            "pid": 1,
+            "tid": 1,
+            "args": args,
+        }
+    )
+    cursor = start_s
+    for child in node.children:
+        _layout(child, cursor, out, starts)
+        cursor += child.wall_s
+
+
+def _event_timestamps(
+    records: List[Dict[str, Any]], starts: Dict[int, float]
+) -> List[Dict[str, Any]]:
+    """Instant events, pinned to the start of their enclosing span.
+
+    An event fired inside a span has a smaller ``seq`` than that span
+    (the span record is appended at close); the enclosing instance is
+    the one with the event's path and the smallest such larger seq.
+    """
+    spans = [r for r in records if r.get("type") == "span"]
+    out = []
+    for event in (r for r in records if r.get("type") == "event"):
+        candidates = [
+            s["seq"]
+            for s in spans
+            if s["path"] == event.get("path") and s["seq"] > event["seq"]
+        ]
+        ts = starts.get(min(candidates), 0.0) if candidates else 0.0
+        out.append(
+            {
+                "name": event["name"],
+                "cat": "event",
+                "ph": "i",
+                "s": "t",
+                "ts": round(ts * 1e6, 3),
+                "pid": 1,
+                "tid": 1,
+                "args": dict(event.get("fields", {})),
+            }
+        )
+    return out
+
+
+def chrome_trace(
+    manifest: Dict[str, Any], records: List[Dict[str, Any]]
+) -> Dict[str, Any]:
+    """Convert a parsed telemetry trace to Chrome trace-event JSON.
+
+    Returns the standard object form (``traceEvents`` plus metadata),
+    loadable in Perfetto / ``chrome://tracing`` / speedscope.  Spans
+    become complete (``"X"``) events on a synthesized timeline (module
+    docstring), telemetry events become instant (``"i"``) events, and
+    counters/gauges travel in ``otherData`` alongside the manifest.
+    """
+    forest = build_span_forest(records)
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 1,
+            "args": {"name": f"repro {manifest.get('repro_version', '')}".strip()},
+        }
+    ]
+    # Each span instance's synthesized start, by seq (for event pinning).
+    starts: Dict[int, float] = {}
+    cursor = 0.0
+    for root in forest:
+        _layout(root, cursor, events, starts)
+        cursor += root.wall_s
+    events.extend(_event_timestamps(records, starts))
+    other: Dict[str, Any] = {
+        key: value for key, value in manifest.items() if key != "type"
+    }
+    other["counters"] = {
+        r["name"]: r["value"] for r in records if r.get("type") == "counter"
+    }
+    other["gauges"] = {
+        r["name"]: r["value"] for r in records if r.get("type") == "gauge"
+    }
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def critical_path(records: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """The slowest root-to-leaf span chain, one row per hop.
+
+    Starts at the root with the largest total wall time and descends
+    into the child with the largest total wall time at every level.
+    Each row carries the hop's wall/CPU seconds, self time, share of
+    the root's wall time, and CPU utilization (``cpu_s / wall_s`` —
+    > 1 means the span's subtree ran on multiple cores).
+    """
+    forest = build_span_forest(records)
+    if not forest:
+        return []
+    node = max(forest, key=lambda n: n.wall_s)
+    total = node.wall_s
+    rows: List[Dict[str, Any]] = []
+    depth = 0
+    while node is not None:
+        rows.append(
+            {
+                "depth": depth,
+                "name": node.name,
+                "path": node.path,
+                "wall_s": node.wall_s,
+                "cpu_s": node.cpu_s,
+                "self_wall_s": node.self_wall_s,
+                "share_of_root": (node.wall_s / total) if total > 0 else 0.0,
+                "utilization": (node.cpu_s / node.wall_s) if node.wall_s > 0 else 0.0,
+                "calls_at_path": sum(
+                    1 for r in records if r.get("type") == "span" and r["path"] == node.path
+                ),
+            }
+        )
+        node = max(node.children, key=lambda n: n.wall_s) if node.children else None
+        depth += 1
+    return rows
+
+
+def render_critical_path(rows: List[Dict[str, Any]]) -> str:
+    """Human-readable rendering for ``repro trace critical-path``."""
+    if not rows:
+        return "no spans in trace"
+    total = rows[0]["wall_s"]
+    out = [
+        f"critical path ({len(rows)} hops, root wall {total:.4f} s):",
+        "  span                        wall s     self s   share   cpu util",
+    ]
+    for row in rows:
+        label = "  " * row["depth"] + row["name"]
+        out.append(
+            f"  {label:<24}  {row['wall_s']:>9.4f}  {row['self_wall_s']:>9.4f}"
+            f"  {row['share_of_root']:>5.0%}  {row['utilization']:>7.2f}x"
+        )
+    hottest = max(rows, key=lambda r: r["self_wall_s"])
+    share = (hottest["self_wall_s"] / total) if total > 0 else 0.0
+    out.append(
+        f"  hottest self time: {hottest['path']} "
+        f"({hottest['self_wall_s']:.4f} s, {share:.0%} of root)"
+    )
+    return "\n".join(out)

@@ -1,0 +1,96 @@
+"""The perf-history store: a directory of validated bench records.
+
+History is deliberately dumb — one ``BENCH_<label>_<stamp>_<digest>.json``
+file per record, no index — so it works as a checked-in directory, a
+CI artifact bucket, or a scratch dir alike, and ``git diff`` on it is
+meaningful.  The digest suffix (first 10 hex chars of the record's
+canonical SHA-256) makes appends idempotent: re-adding the same record
+is a no-op, and two records from the same second never collide.
+
+:func:`list_records` returns records oldest-first by their manifest
+``created_unix`` stamp (digest as tiebreaker), which is the order the
+``repro bench history`` listing and any trajectory analysis want.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Tuple
+
+from ..errors import ValidationError
+from .record import canonical_record_bytes, read_bench_record, validate_bench_record
+
+__all__ = ["history_filename", "append_record", "list_records", "render_history"]
+
+
+def _digest(record: Dict[str, Any]) -> str:
+    return hashlib.sha256(canonical_record_bytes(record)).hexdigest()[:10]
+
+
+def history_filename(record: Dict[str, Any]) -> str:
+    """Content-addressed history file name for *record*."""
+    validate_bench_record(record)
+    stamp = int(record["manifest"]["created_unix"])
+    return f"BENCH_{record['label']}_{stamp}_{_digest(record)}.json"
+
+
+def append_record(history_dir, record: Dict[str, Any]) -> Tuple[Path, bool]:
+    """Add *record* to the history directory (created on demand).
+
+    Returns ``(path, appended)``; ``appended`` is False when an
+    identical record (same canonical bytes) is already present.
+    """
+    from .record import write_bench_record
+
+    directory = Path(history_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / history_filename(record)
+    if path.exists():
+        return path, False
+    write_bench_record(path, record)
+    return path, True
+
+
+def list_records(history_dir) -> List[Tuple[Path, Dict[str, Any]]]:
+    """All valid history records, oldest first.
+
+    A file that no longer validates (schema bump, hand edit) fails
+    loudly — history exists to be compared against, and silently
+    skipping a record would turn a broken baseline into a vacuous pass.
+    """
+    directory = Path(history_dir)
+    if not directory.exists():
+        raise ValidationError(f"history directory not found: {directory}")
+    entries = []
+    for name in sorted(os.listdir(directory)):
+        if name.startswith("BENCH_") and name.endswith(".json"):
+            path = directory / name
+            entries.append((path, read_bench_record(path)))
+    entries.sort(key=lambda item: (item[1]["manifest"]["created_unix"], item[0].name))
+    return entries
+
+
+def render_history(entries: List[Tuple[Path, Dict[str, Any]]]) -> str:
+    """Per-workload trajectory table across the listed records."""
+    if not entries:
+        return "history is empty"
+    lines = [f"history: {len(entries)} records"]
+    width = max(
+        len(result["id"]) for _, record in entries for result in record["results"]
+    )
+    for path, record in entries:
+        manifest = record["manifest"]
+        lines.append(
+            f"\n{path.name}  [{record['label']}] "
+            f"host={manifest['host']} code={manifest['code_version']}"
+        )
+        for result in record["results"]:
+            throughput = result["metrics"].get("trials_per_s")
+            suffix = f"  {throughput:>8.1f} trials/s" if throughput else ""
+            lines.append(
+                f"  {result['id']:<{width}}  median {result['median_s']:>9.4f} s"
+                f"  min {result['min_s']:>9.4f} s  x{result['repeats']}{suffix}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,152 @@
+"""Noise-aware bench-record comparison: the CI regression gate's brain.
+
+:func:`compare_records` diffs a current bench record against a
+baseline, workload by workload.  Timing comparisons are **noise
+aware**: each side's relative spread ``(max - min) / median`` over its
+raw repeat timings estimates the run-to-run jitter, and the allowed
+slowdown for a workload is::
+
+    allowed = max(rel_tol, noise_mult * max(spread_baseline, spread_current))
+
+so a jittery workload does not flap the gate, while a stable workload
+is held to the configured tolerance.  Only slowdowns gate; speedups
+and counter drifts are reported as informational findings (counters
+move legitimately whenever algorithms change — the record exists so
+such moves are *visible*, not forbidden).
+
+Exit-code contract (consumed by ``repro bench check`` and
+``tools/check_perf.py``):
+
+- ``0`` — every common workload within tolerance;
+- ``1`` — at least one regression;
+- ``2`` — records are not comparable (no overlapping workloads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+__all__ = ["Finding", "BenchComparison", "compare_records"]
+
+#: Default allowed relative slowdown before noise widening (25%).
+DEFAULT_REL_TOL = 0.25
+
+#: How many spreads of measured jitter the tolerance widens to.
+DEFAULT_NOISE_MULT = 3.0
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One per-workload observation from a comparison."""
+
+    workload_id: str
+    kind: str  # "regression" | "improvement" | "counter-drift" | "coverage"
+    detail: str
+    gating: bool
+
+
+@dataclass
+class BenchComparison:
+    """Outcome of one baseline-vs-current comparison."""
+
+    baseline_label: str
+    current_label: str
+    compared: int = 0
+    findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[Finding]:
+        return [f for f in self.findings if f.gating]
+
+    @property
+    def exit_code(self) -> int:
+        if self.compared == 0:
+            return 2
+        return 1 if self.regressions else 0
+
+    def render(self) -> str:
+        lines = [
+            f"bench check: {self.current_label} vs baseline "
+            f"{self.baseline_label} ({self.compared} workloads compared)"
+        ]
+        for finding in self.findings:
+            marker = "FAIL" if finding.gating else "info"
+            lines.append(f"  [{marker}] {finding.workload_id}: {finding.detail}")
+        if self.compared == 0:
+            lines.append(
+                "  [FAIL] records share no workload ids — nothing to compare"
+            )
+        elif not self.regressions:
+            lines.append("  ok: no regressions beyond tolerance")
+        return "\n".join(lines)
+
+
+def _spread(result: Dict[str, Any]) -> float:
+    timings = result["timings_s"]
+    return (max(timings) - min(timings)) / result["median_s"]
+
+
+def compare_records(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    *,
+    rel_tol: float = DEFAULT_REL_TOL,
+    noise_mult: float = DEFAULT_NOISE_MULT,
+    counter_tol: float = 0.0,
+) -> BenchComparison:
+    """Compare two validated bench records (see module docstring).
+
+    ``counter_tol`` is the relative counter change beyond which a
+    counter-drift finding is emitted (0.0 reports any change); counter
+    drifts never gate.
+    """
+    base_results = {r["id"]: r for r in baseline["results"]}
+    curr_results = {r["id"]: r for r in current["results"]}
+    comparison = BenchComparison(
+        baseline_label=baseline["label"], current_label=current["label"]
+    )
+    for workload_id in sorted(set(base_results) | set(curr_results)):
+        if workload_id not in curr_results:
+            comparison.findings.append(
+                Finding(workload_id, "coverage", "in baseline only (skipped)", False)
+            )
+            continue
+        if workload_id not in base_results:
+            comparison.findings.append(
+                Finding(workload_id, "coverage", "in current only (no baseline)", False)
+            )
+            continue
+        base, curr = base_results[workload_id], curr_results[workload_id]
+        comparison.compared += 1
+
+        ratio = curr["median_s"] / base["median_s"]
+        allowed = max(rel_tol, noise_mult * max(_spread(base), _spread(curr)))
+        detail = (
+            f"median {base['median_s']:.4f}s -> {curr['median_s']:.4f}s "
+            f"({ratio - 1.0:+.0%} vs allowed +{allowed:.0%})"
+        )
+        if ratio - 1.0 > allowed:
+            comparison.findings.append(
+                Finding(workload_id, "regression", detail, True)
+            )
+        elif ratio < 1.0 - allowed:
+            comparison.findings.append(
+                Finding(workload_id, "improvement", detail, False)
+            )
+
+        for name in sorted(set(base["counters"]) & set(curr["counters"])):
+            before, after = base["counters"][name], curr["counters"][name]
+            if before == after:
+                continue
+            drift = abs(after - before) / abs(before) if before else float("inf")
+            if drift > counter_tol:
+                comparison.findings.append(
+                    Finding(
+                        workload_id,
+                        "counter-drift",
+                        f"counter {name}: {before} -> {after}",
+                        False,
+                    )
+                )
+    return comparison

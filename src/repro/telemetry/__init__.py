@@ -40,7 +40,13 @@ from contextlib import contextmanager
 from typing import Iterator, Optional
 
 from .recorder import NULL_RECORDER, NullRecorder, TraceRecorder
-from .schema import TRACE_SCHEMA_VERSION, read_trace, validate_trace, write_trace
+from .schema import (
+    TRACE_SCHEMA_VERSION,
+    read_trace,
+    read_trace_lenient,
+    validate_trace,
+    write_trace,
+)
 
 __all__ = [
     "NullRecorder",
@@ -48,6 +54,7 @@ __all__ = [
     "TraceRecorder",
     "TRACE_SCHEMA_VERSION",
     "read_trace",
+    "read_trace_lenient",
     "validate_trace",
     "write_trace",
     "current",

@@ -28,6 +28,7 @@ __all__ = [
     "validate_record",
     "validate_trace",
     "read_trace",
+    "read_trace_lenient",
     "write_trace",
 ]
 
@@ -129,22 +130,58 @@ def read_trace(path) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
     manifest line.  Raises :class:`ValidationError` on malformed JSON,
     invalid records, or an unsupported schema version.
     """
+    manifest, records, _ = _read_trace(path, drop_truncated_tail=False)
+    return manifest, records
+
+
+def read_trace_lenient(
+    path,
+) -> Tuple[Dict[str, Any], List[Dict[str, Any]], List[str]]:
+    """Like :func:`read_trace`, but tolerate a crashed-writer tail.
+
+    A process that dies mid-write leaves its *final* JSONL line
+    truncated; strict reading would reject the whole file over bytes
+    that carry no information.  This variant drops an unparseable final
+    line and reports it in the returned warnings list, so inspection
+    tools (``repro trace summarize``/``compare``/``export``) can render
+    everything readable.  Malformed JSON anywhere *before* the final
+    line is still an error — that is corruption, not truncation — and
+    the surviving records must still pass full schema validation.
+
+    Returns ``(manifest, records, warnings)``.
+    """
+    return _read_trace(path, drop_truncated_tail=True)
+
+
+def _read_trace(
+    path, *, drop_truncated_tail: bool
+) -> Tuple[Dict[str, Any], List[Dict[str, Any]], List[str]]:
     if not os.path.exists(path):
         raise ValidationError(f"trace file not found: {path}")
     records: List[Dict[str, Any]] = []
+    warnings: List[str] = []
     with open(path, "r", encoding="utf-8") as fh:
-        for line_no, line in enumerate(fh, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                records.append(json.loads(line))
-            except json.JSONDecodeError as exc:
-                raise ValidationError(
-                    f"trace line {line_no}: malformed JSON ({exc.msg})"
-                ) from exc
+        lines = [
+            (line_no, text.strip())
+            for line_no, text in enumerate(fh, start=1)
+            if text.strip()
+        ]
+    for i, (line_no, line) in enumerate(lines):
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            if drop_truncated_tail and i == len(lines) - 1:
+                warnings.append(
+                    f"trace line {line_no} is truncated mid-record (crashed "
+                    f"writer?); dropped it and kept the {len(records)} "
+                    f"readable records"
+                )
+                break
+            raise ValidationError(
+                f"trace line {line_no}: malformed JSON ({exc.msg})"
+            ) from exc
     validate_trace(records)
-    return records[0], records[1:]
+    return records[0], records[1:], warnings
 
 
 def write_trace(path, records: List[Dict[str, Any]]) -> None:

@@ -1,0 +1,250 @@
+"""Tests for :mod:`repro.perf.analytics`: span-forest reconstruction
+from the post-order trace stream, Chrome trace-event export, and
+critical-path extraction — plus their ``repro trace`` CLI surface."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.perf.analytics import (
+    build_span_forest,
+    chrome_trace,
+    critical_path,
+    render_critical_path,
+)
+from repro.telemetry.recorder import TraceRecorder
+
+
+def _span(path, seq, wall_s, cpu_s=None, attrs=None):
+    return {
+        "type": "span",
+        "name": path.rsplit("/", 1)[-1],
+        "path": path,
+        "wall_s": wall_s,
+        "cpu_s": wall_s if cpu_s is None else cpu_s,
+        "seq": seq,
+        "attrs": attrs or {},
+    }
+
+
+def _sample_records():
+    """A post-order stream: children close (and are emitted) before
+    their parents, exactly as the recorder appends them."""
+    return [
+        _span("scenario/campaign/solve", 1, 0.2),
+        _span("scenario/campaign/solve", 2, 0.5),
+        _span("scenario/campaign", 3, 0.8),
+        _span("scenario", 4, 1.0),
+        {"type": "counter", "name": "engine.campaign.trials", "value": 2},
+    ]
+
+
+class TestBuildSpanForest:
+    def test_postorder_adoption(self):
+        forest = build_span_forest(_sample_records())
+        (root,) = forest
+        assert root.path == "scenario"
+        (campaign,) = root.children
+        assert campaign.path == "scenario/campaign"
+        assert [c.wall_s for c in campaign.children] == [0.2, 0.5]
+
+    def test_self_time_excludes_direct_children(self):
+        (root,) = build_span_forest(_sample_records())
+        assert root.self_wall_s == pytest.approx(0.2)  # 1.0 - 0.8
+        (campaign,) = root.children
+        assert campaign.self_wall_s == pytest.approx(0.1)  # 0.8 - 0.7
+
+    def test_orphan_spans_stay_roots(self):
+        # A truncated trace whose outermost span never closed: the inner
+        # spans must survive as roots instead of vanishing.
+        records = [
+            _span("scenario/campaign/solve", 1, 0.2),
+            _span("scenario/campaign", 2, 0.8),
+        ]
+        (root,) = build_span_forest(records)
+        assert root.path == "scenario/campaign"
+        assert [c.path for c in root.children] == ["scenario/campaign/solve"]
+
+    def test_repeated_paths_group_under_one_closing_parent(self):
+        records = [
+            _span("a/b", 1, 0.1),
+            _span("a/b", 2, 0.3),
+            _span("a", 3, 0.5),
+        ]
+        (root,) = build_span_forest(records)
+        assert [c.wall_s for c in root.children] == [0.1, 0.3]
+
+    def test_no_spans_is_empty_forest(self):
+        assert build_span_forest([{"type": "counter", "name": "c", "value": 1}]) == []
+
+
+class TestChromeTrace:
+    def _manifest(self):
+        return {
+            "type": "manifest",
+            "schema": 1,
+            "created_unix": 100.0,
+            "host": "h",
+            "repro_version": "1.0",
+        }
+
+    def test_structure_and_nesting(self):
+        converted = chrome_trace(self._manifest(), _sample_records())
+        events = converted["traceEvents"]
+        assert converted["displayTimeUnit"] == "ms"
+        phases = {e["ph"] for e in events}
+        assert phases == {"M", "X"}
+        spans = {
+            (e["args"]["path"], e["ts"]): e for e in events if e["ph"] == "X"
+        }
+        root = spans[("scenario", 0.0)]
+        campaign = spans[("scenario/campaign", 0.0)]
+        assert root["dur"] == pytest.approx(1.0e6)
+        assert campaign["dur"] == pytest.approx(0.8e6)
+        # Sibling solves are packed sequentially inside the campaign.
+        assert spans[("scenario/campaign/solve", 0.0)]["dur"] == pytest.approx(0.2e6)
+        assert spans[("scenario/campaign/solve", 0.2e6)]["dur"] == pytest.approx(0.5e6)
+        # Every child interval sits inside its parent's interval.
+        for (path, ts), event in spans.items():
+            if path == "scenario":
+                continue
+            assert ts >= root["ts"]
+            assert ts + event["dur"] <= root["ts"] + root["dur"] + 1e-6
+
+    def test_counters_and_manifest_in_other_data(self):
+        converted = chrome_trace(self._manifest(), _sample_records())
+        other = converted["otherData"]
+        assert other["host"] == "h"
+        assert "type" not in other
+        assert other["counters"] == {"engine.campaign.trials": 2}
+
+    def test_instant_event_pinned_to_enclosing_span_start(self):
+        records = [
+            _span("a/b", 1, 0.1),
+            {
+                "type": "event",
+                "name": "boundary",
+                "path": "a/b",
+                "seq": 2,
+                "fields": {"n": 1},
+            },
+            _span("a/b", 3, 0.3),
+            _span("a", 4, 0.5),
+        ]
+        converted = chrome_trace(self._manifest(), records)
+        (instant,) = [e for e in converted["traceEvents"] if e["ph"] == "i"]
+        # seq 2 fired inside the span instance that closed at seq 3,
+        # whose synthesized start is 0.1 s (after its 0.1 s sibling).
+        assert instant["ts"] == pytest.approx(0.1e6)
+        assert instant["args"] == {"n": 1}
+
+    def test_output_is_json_serializable(self):
+        converted = chrome_trace(self._manifest(), _sample_records())
+        assert json.loads(json.dumps(converted)) == converted
+
+    def test_real_recorder_round_trip(self):
+        rec = TraceRecorder()
+        rec.set_manifest(scenario_id="tiny")
+        with rec.span("campaign", mode="fixed"):
+            with rec.span("solve"):
+                rec.count("engine.batch.gd_solves", 1)
+            rec.event("scheduler.stop", reason="budget")
+        records = rec.records(now=100.0)
+        converted = chrome_trace(records[0], records[1:])
+        names = [e["name"] for e in converted["traceEvents"]]
+        assert "campaign" in names and "solve" in names
+        assert "scheduler.stop" in names
+
+
+class TestCriticalPath:
+    def test_follows_slowest_chain(self):
+        records = _sample_records() + [
+            _span("scenario/io", 5, 0.05),
+            _span("other-root", 6, 0.3),
+        ]
+        rows = critical_path(records)
+        assert [row["path"] for row in rows] == [
+            "scenario",
+            "scenario/campaign",
+            "scenario/campaign/solve",
+        ]
+        assert [row["depth"] for row in rows] == [0, 1, 2]
+        assert rows[0]["share_of_root"] == pytest.approx(1.0)
+        assert rows[1]["share_of_root"] == pytest.approx(0.8)
+        # The chain descends into the 0.5 s solve, not the 0.2 s one.
+        assert rows[2]["wall_s"] == pytest.approx(0.5)
+        assert rows[2]["calls_at_path"] == 2
+
+    def test_utilization_ratio(self):
+        records = [_span("a", 1, 2.0, cpu_s=4.0)]
+        (row,) = critical_path(records)
+        assert row["utilization"] == pytest.approx(2.0)
+
+    def test_empty_trace(self):
+        assert critical_path([]) == []
+        assert render_critical_path([]) == "no spans in trace"
+
+    def test_render_names_hottest_self_time(self):
+        rendered = render_critical_path(critical_path(_sample_records()))
+        assert "critical path (3 hops" in rendered
+        assert "hottest self time: scenario/campaign/solve" in rendered
+
+
+# -- CLI surface ---------------------------------------------------------
+
+
+def _run_traced(tmp_path):
+    trace = tmp_path / "t.jsonl"
+    code = main(
+        [
+            "run",
+            "uniform-multilateration",
+            "--seed",
+            "1",
+            "--trials",
+            "2",
+            "--store",
+            str(tmp_path / "store"),
+            "--trace",
+            str(trace),
+        ]
+    )
+    assert code == 0
+    return trace
+
+
+class TestTraceExportCli:
+    def test_export_default_output_path(self, tmp_path, capsys):
+        trace = _run_traced(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", "export", str(trace)]) == 0
+        out_path = tmp_path / "t.chrome.json"
+        assert f"-> {out_path}" in capsys.readouterr().out
+        with open(out_path, "r", encoding="utf-8") as fh:
+            converted = json.load(fh)
+        events = converted["traceEvents"]
+        assert any(e["ph"] == "X" and e["name"] == "solve" for e in events)
+        assert all(e["dur"] >= 0 for e in events if e["ph"] == "X")
+        assert converted["otherData"]["scenario_id"] == "uniform-multilateration"
+        assert converted["otherData"]["counters"]["engine.campaign.trials"] == 2
+
+    def test_export_explicit_output(self, tmp_path, capsys):
+        trace = _run_traced(tmp_path)
+        out = tmp_path / "custom.json"
+        capsys.readouterr()
+        assert main(["trace", "export", str(trace), "--out", str(out)]) == 0
+        assert out.exists()
+
+    def test_export_missing_trace_exits_2(self, tmp_path, capsys):
+        assert main(["trace", "export", str(tmp_path / "nope.jsonl")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_critical_path_renders(self, tmp_path, capsys):
+        trace = _run_traced(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", "critical-path", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "critical path (" in out
+        assert "scenario/campaign" in out
+        assert "hottest self time:" in out

@@ -1,10 +1,13 @@
 """Tests for the tracing CLI surface: ``run --trace``, ``$REPRO_TRACE``,
 and the ``trace summarize`` / ``trace compare`` subcommands."""
 
+import json
+
 import pytest
 
+from repro.errors import ValidationError
 from repro.__main__ import main
-from repro.telemetry import TRACE_SCHEMA_VERSION, read_trace
+from repro.telemetry import TRACE_SCHEMA_VERSION, read_trace, read_trace_lenient
 
 
 def _run_traced(tmp_path, trace_name="t.jsonl", extra=()):
@@ -119,6 +122,105 @@ class TestTraceSummarize:
         bad.write_text('{"type": "counter", "name": "c", "value": 1}\n')
         assert main(["trace", "summarize", str(bad)]) == 2
         assert "manifest" in capsys.readouterr().err
+
+
+class TestTraceLenientReading:
+    """A crashed writer leaves the final JSONL line truncated; the
+    inspection commands must render everything readable instead of
+    rejecting the file."""
+
+    def _truncate_mid_record(self, trace):
+        """Chop the trace inside its final record (no trailing newline)."""
+        data = trace.read_bytes().rstrip(b"\n")
+        last_line_start = data.rfind(b"\n") + 1
+        assert len(data) - last_line_start > 10
+        trace.write_bytes(data[: last_line_start + 10])
+        return trace
+
+    def test_summarize_degrades_on_truncated_tail(self, tmp_path, capsys):
+        trace = self._truncate_mid_record(_run_traced(tmp_path))
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(trace)]) == 0
+        captured = capsys.readouterr()
+        assert "truncated mid-record" in captured.err
+        assert "crashed writer" in captured.err
+        assert "scenario" in captured.out  # readable records still render
+
+    def test_strict_reader_still_rejects_truncation(self, tmp_path):
+        trace = self._truncate_mid_record(_run_traced(tmp_path))
+        with pytest.raises(ValidationError, match="malformed JSON"):
+            read_trace(trace)
+        manifest, records, warnings = read_trace_lenient(trace)
+        assert manifest["schema"] == TRACE_SCHEMA_VERSION
+        assert records  # everything before the torn line survives
+        (warning,) = warnings
+        assert "dropped it" in warning
+
+    def test_mid_file_corruption_still_fails(self, tmp_path, capsys):
+        trace = _run_traced(tmp_path)
+        lines = trace.read_text().splitlines()
+        lines[2] = lines[2][:10]  # tear a record that is NOT the tail
+        trace.write_text("\n".join(lines) + "\n")
+        assert main(["trace", "summarize", str(trace)]) == 2
+        assert "malformed JSON" in capsys.readouterr().err
+
+    def test_empty_trace_exits_2_without_traceback(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["trace", "summarize", str(empty)]) == 2
+        assert "trace is empty" in capsys.readouterr().err
+
+    def test_compare_tolerates_truncated_side(self, tmp_path, capsys):
+        a = _run_traced(tmp_path, "a.jsonl")
+        b = self._truncate_mid_record(_run_traced(tmp_path, "b.jsonl"))
+        capsys.readouterr()
+        assert main(["trace", "compare", str(a), str(b)]) == 0
+        captured = capsys.readouterr()
+        assert "truncated mid-record" in captured.err
+        assert "scenario" in captured.out
+
+
+class TestTraceForwardCompat:
+    """Schema evolution contract: extra fields are minor additions old
+    readers pass through; an unknown schema version is a hard stop."""
+
+    def test_unknown_extra_field_accepted(self, tmp_path):
+        trace = _run_traced(tmp_path)
+        lines = trace.read_text().splitlines()
+        record = json.loads(lines[1])
+        record["future_annotation"] = {"from": "v1.1"}
+        lines[1] = json.dumps(record)
+        trace.write_text("\n".join(lines) + "\n")
+        _, records = read_trace(trace)
+        assert any(r.get("future_annotation") == {"from": "v1.1"} for r in records)
+        assert main(["trace", "summarize", str(trace)]) == 0
+
+    def test_bumped_schema_version_cleanly_rejected(self, tmp_path, capsys):
+        trace = _run_traced(tmp_path)
+        lines = trace.read_text().splitlines()
+        manifest = json.loads(lines[0])
+        manifest["schema"] = TRACE_SCHEMA_VERSION + 1
+        lines[0] = json.dumps(manifest)
+        trace.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValidationError, match="this build reads version"):
+            read_trace(trace)
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(trace)]) == 2
+        assert "not supported" in capsys.readouterr().err
+
+    def test_compare_disjoint_span_paths(self, tmp_path, capsys):
+        # A scenario trace and an experiment trace share no span paths;
+        # compare must render one-sided rows, not crash.
+        scenario = _run_traced(tmp_path, "scenario.jsonl")
+        experiment = tmp_path / "experiment.jsonl"
+        assert (
+            main(["run", "fig11", "--seed", "2005", "--trace", str(experiment)]) == 0
+        )
+        capsys.readouterr()
+        assert main(["trace", "compare", str(scenario), str(experiment)]) == 0
+        out = capsys.readouterr().out
+        assert "scenario" in out and "experiment" in out
+        assert "-" in out  # one-sided rows render a dash placeholder
 
 
 class TestTraceCompare:

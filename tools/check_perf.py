@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""CI gate: the perf harness works end to end and the smoke suite has
+not regressed beyond a generous threshold.
+
+Drives the real CLI:
+
+1. ``repro bench run --suite smoke`` must produce a bench record that
+   validates against the versioned schema (written into the artifact
+   directory, which CI uploads for later trajectory analysis);
+2. ``repro bench check`` must pass (exit 0) on an identical re-check of
+   that record against itself — the no-regression baseline case;
+3. injecting a synthetic 2x slowdown into a copy of the record must
+   make ``repro bench check`` exit 1 — proving the gate can actually
+   fire before we rely on it;
+4. the fresh record is checked against the committed baseline
+   (``benchmarks/baselines/BENCH_smoke.json``) with a deliberately
+   generous tolerance — CI machines vary wildly in speed, so this
+   catches "10x slower" catastrophes and workload-coverage drift, not
+   few-percent noise.  Counter drifts are reported, never fatal.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_perf.py
+    PYTHONPATH=src python tools/check_perf.py --repeats 3 --rel-tol 9.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from _gate_common import run_cli_output
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baselines" / "BENCH_smoke.json"
+
+
+def _fail(tag: str, detail: str) -> None:
+    sys.exit(f"FAIL [{tag}]: {detail}")
+
+
+def _run_check(current: Path, baseline: Path, *extra: str):
+    """``repro bench check`` without exiting on nonzero (the gate
+    asserts on specific exit codes, including the expected-failure 1)."""
+    command = [
+        sys.executable,
+        "-m",
+        "repro",
+        "bench",
+        "check",
+        str(current),
+        "--baseline",
+        str(baseline),
+        *extra,
+    ]
+    result = subprocess.run(command, capture_output=True, text=True)
+    return result.returncode, result.stdout + result.stderr
+
+
+def check_bench_run(artifact_dir: Path, suite: str, repeats: int) -> Path:
+    """Run the suite; the record must validate and cover every workload."""
+    from repro.perf import get_suite, read_bench_record
+
+    record_path = artifact_dir / f"BENCH_{suite}.json"
+    out = run_cli_output(
+        [
+            "bench",
+            "run",
+            "--suite",
+            suite,
+            "--repeats",
+            str(repeats),
+            "--out",
+            str(record_path),
+        ]
+    )
+    record = read_bench_record(record_path)  # raises on schema violation
+    expected = [w.workload_id for w in get_suite(suite)]
+    got = [r["id"] for r in record["results"]]
+    if got != expected:
+        _fail("run", f"workload coverage drifted: {got} != {expected}")
+    if record["manifest"].get("suite") != suite:
+        _fail("run", f"manifest suite field: {record['manifest'].get('suite')!r}")
+    if f"-> {record_path}" not in out:
+        _fail("run", f"CLI did not report the output path:\n{out}")
+    print(f"ok [run]: {len(got)} workloads, schema-valid record at {record_path}")
+    return record_path
+
+
+def check_self_comparison(record_path: Path) -> None:
+    """A record checked against itself must always pass."""
+    code, out = _run_check(record_path, record_path)
+    if code != 0:
+        _fail("self", f"identical records exited {code}:\n{out}")
+    if "no regressions" not in out:
+        _fail("self", f"pass verdict missing from output:\n{out}")
+    print("ok [self]: identical re-check exits 0")
+
+
+def check_injected_slowdown(record_path: Path, artifact_dir: Path) -> None:
+    """A synthetic 2x slowdown must trip the gate (exit 1)."""
+    with open(record_path, "r", encoding="utf-8") as fh:
+        record = json.load(fh)
+    for result in record["results"]:
+        result["timings_s"] = [t * 2.0 for t in result["timings_s"]]
+        result["median_s"] *= 2.0
+        result["min_s"] *= 2.0
+    slow_path = artifact_dir / "BENCH_injected_slowdown.json"
+    with open(slow_path, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, sort_keys=True, indent=2)
+    code, out = _run_check(slow_path, record_path)
+    if code != 1:
+        _fail("inject", f"2x slowdown exited {code} (want 1):\n{out}")
+    if "FAIL" not in out:
+        _fail("inject", f"no FAIL finding in output:\n{out}")
+    print("ok [inject]: synthetic 2x slowdown trips the gate (exit 1)")
+
+
+def check_against_baseline(
+    record_path: Path, baseline: Path, rel_tol: float
+) -> None:
+    """The fresh record must be comparable to, and within the (very
+    generous) tolerance of, the committed baseline."""
+    code, out = _run_check(
+        record_path, baseline, "--rel-tol", str(rel_tol)
+    )
+    if code == 2:
+        _fail("baseline", f"records not comparable:\n{out}")
+    if code != 0:
+        _fail(
+            "baseline",
+            f"smoke suite regressed beyond +{rel_tol:.0%} vs committed "
+            f"baseline:\n{out}",
+        )
+    print(f"ok [baseline]: within +{rel_tol:.0%} of {baseline.name}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--suite", default="smoke")
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument(
+        "--rel-tol",
+        type=float,
+        default=9.0,
+        help="allowed relative slowdown vs the committed baseline "
+        "(default 9.0 = 10x: cross-machine timing gate, not a tuner)",
+    )
+    parser.add_argument(
+        "--artifact-dir",
+        type=Path,
+        default=Path("perf-artifacts"),
+        help="bench records land here (CI uploads this directory)",
+    )
+    args = parser.parse_args()
+
+    args.artifact_dir.mkdir(parents=True, exist_ok=True)
+    record_path = check_bench_run(args.artifact_dir, args.suite, args.repeats)
+    check_self_comparison(record_path)
+    check_injected_slowdown(record_path, args.artifact_dir)
+    if args.baseline.exists():
+        check_against_baseline(record_path, args.baseline, args.rel_tol)
+    else:
+        _fail("baseline", f"committed baseline missing: {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
